@@ -1,0 +1,34 @@
+//! Microphone-array substrate for the EchoImage reproduction.
+//!
+//! Implements the paper's §III background: array geometry (Eq. 3–4), the
+//! far-field plane-wave propagation model (Eq. 1, 5), time differences of
+//! arrival (Eq. 6), wavenumber/phase shifts (Eq. 7) and narrowband
+//! steering vectors used by the MVDR beamformer (Eq. 8).
+//!
+//! # Example
+//!
+//! Model the paper's prototype — a ReSpeaker-like 6-microphone circular
+//! array — and steer it at a user standing in front:
+//!
+//! ```
+//! use echo_array::{Direction, MicArray};
+//!
+//! let array = MicArray::respeaker_6();
+//! assert_eq!(array.len(), 6);
+//!
+//! // Paper §V-B: steer to the upper body, θ = π/2, φ = π/3.
+//! let look = Direction::new(std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_3);
+//! let sv = array.steering_vector(look, 2_500.0);
+//! assert_eq!(sv.len(), 6);
+//! // Steering phasors are unit-modulus.
+//! for w in &sv {
+//!     assert!((w.abs() - 1.0).abs() < 1e-12);
+//! }
+//! ```
+
+pub mod direction;
+pub mod geometry;
+pub mod steering;
+
+pub use direction::Direction;
+pub use geometry::{MicArray, Vec3};

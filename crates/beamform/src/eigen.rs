@@ -1,0 +1,255 @@
+//! Eigendecomposition of Hermitian matrices via the cyclic Jacobi
+//! method — small and robust, exactly right for the M×M (M ≈ 6) spatial
+//! covariance matrices of a smart-speaker array.
+
+use crate::cmatrix::CMatrix;
+use echo_dsp::Complex;
+
+/// An eigendecomposition `A = V·diag(λ)·Vᴴ` of a Hermitian matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order (real, since A is Hermitian).
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the matching eigenvectors.
+    pub vectors: CMatrix,
+}
+
+/// Diagonalises a Hermitian matrix with cyclic complex Jacobi rotations.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or not Hermitian (tolerance 1e-8
+/// relative to the largest entry).
+pub fn eigh(a: &CMatrix) -> EigenDecomposition {
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "eigendecomposition needs a square matrix"
+    );
+    let n = a.rows();
+    let scale = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .map(|(i, j)| a.get(i, j).abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    assert!(
+        a.is_hermitian(1e-8 * scale),
+        "eigendecomposition needs a Hermitian matrix"
+    );
+
+    let mut m = a.clone();
+    let mut v = CMatrix::identity(n);
+
+    // Cyclic sweeps over the upper triangle.
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m.get(i, j).norm_sqr();
+            }
+        }
+        if off.sqrt() < 1e-12 * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p).re;
+                let aqq = m.get(q, q).re;
+                // Phase-align: diag(1, e^{iφ}) makes the 2×2 block real.
+                let phi = apq.arg();
+                let b = apq.abs();
+                // Real Jacobi rotation for [[app, b], [b, aqq]]: zeroing
+                // the off-diagonal requires tan 2θ = −2b/(app − aqq).
+                let mut theta = 0.5 * f64::atan2(-2.0 * b, app - aqq);
+                // Keep the inner rotation (|θ| ≤ π/4) for convergence; a
+                // ±π/2 shift preserves the zeroing property.
+                if theta > std::f64::consts::FRAC_PI_4 {
+                    theta -= std::f64::consts::FRAC_PI_2;
+                } else if theta < -std::f64::consts::FRAC_PI_4 {
+                    theta += std::f64::consts::FRAC_PI_2;
+                }
+                let c = theta.cos();
+                let s = theta.sin();
+                // U columns: [c, −s·e^{−iφ}]ᵀ and [s·e^{iφ}·…]. Build the
+                // two complex coefficients of the unitary update:
+                // col_p ← c·col_p + s·e^{−iφ}·col_q? Derive via U =
+                // diag(1, e^{-iφ}) applied on the q side:
+                let u_pq = Complex::from_polar(s, phi); // entry (p,q) of U
+                let u_qp = Complex::from_polar(-s, -phi); // entry (q,p)
+                                                          // Apply A ← Uᴴ A U on rows/cols p and q.
+                                                          // First columns: A[:,p], A[:,q].
+                for r in 0..n {
+                    let arp = m.get(r, p);
+                    let arq = m.get(r, q);
+                    m.set(r, p, arp * c + arq * u_qp);
+                    m.set(r, q, arp * u_pq + arq * c);
+                }
+                // Then rows (conjugate coefficients).
+                for r in 0..n {
+                    let apr = m.get(p, r);
+                    let aqr = m.get(q, r);
+                    m.set(p, r, apr * c + aqr * u_qp.conj());
+                    m.set(q, r, apr * u_pq.conj() + aqr * c);
+                }
+                // Accumulate eigenvectors: V ← V U.
+                for r in 0..n {
+                    let vrp = v.get(r, p);
+                    let vrq = v.get(r, q);
+                    v.set(r, p, vrp * c + vrq * u_qp);
+                    v.set(r, q, vrp * u_pq + vrq * c);
+                }
+            }
+        }
+    }
+
+    // Extract (eigenvalue, eigenvector-column) pairs, sort descending.
+    let mut pairs: Vec<(f64, Vec<Complex>)> = (0..n)
+        .map(|j| {
+            (
+                m.get(j, j).re,
+                (0..n).map(|i| v.get(i, j)).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    let values: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
+    let mut vectors = CMatrix::zeros(n, n);
+    for (j, (_, col)) in pairs.iter().enumerate() {
+        for (i, &x) in col.iter().enumerate() {
+            vectors.set(i, j, x);
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hermitian_from(v: &CMatrix, eigenvalues: &[f64]) -> CMatrix {
+        // A = V diag(λ) Vᴴ.
+        let n = eigenvalues.len();
+        let mut d = CMatrix::zeros(n, n);
+        for (i, &l) in eigenvalues.iter().enumerate() {
+            d.set(i, i, Complex::from_real(l));
+        }
+        v.matmul(&d).matmul(&v.hermitian())
+    }
+
+    /// A deterministic unitary built from Jacobi-style rotations.
+    fn test_unitary(n: usize) -> CMatrix {
+        let mut v = CMatrix::identity(n);
+        for p in 0..n {
+            for q in p + 1..n {
+                let theta = 0.3 + 0.1 * (p * n + q) as f64;
+                let phi = 0.7 * (p + 2 * q) as f64;
+                let c = theta.cos();
+                let s = Complex::from_polar(theta.sin(), phi);
+                let mut r = CMatrix::identity(n);
+                r.set(p, p, Complex::from_real(c));
+                r.set(q, q, Complex::from_real(c));
+                r.set(p, q, s);
+                r.set(q, p, -s.conj());
+                v = v.matmul(&r);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let mut a = CMatrix::zeros(3, 3);
+        a.set(0, 0, Complex::from_real(3.0));
+        a.set(1, 1, Complex::from_real(1.0));
+        a.set(2, 2, Complex::from_real(2.0));
+        let e = eigh(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_constructed_spectrum() {
+        let v = test_unitary(5);
+        let eigenvalues = [9.0, 4.5, 2.0, 0.5, 0.1];
+        let a = hermitian_from(&v, &eigenvalues);
+        let e = eigh(&a);
+        for (got, want) in e.values.iter().zip(eigenvalues.iter()) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_original() {
+        let v = test_unitary(4);
+        let a = hermitian_from(&v, &[5.0, 3.0, 1.0, 0.2]);
+        let e = eigh(&a);
+        let mut d = CMatrix::zeros(4, 4);
+        for (i, &l) in e.values.iter().enumerate() {
+            d.set(i, i, Complex::from_real(l));
+        }
+        let back = e.vectors.matmul(&d).matmul(&e.vectors.hermitian());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (back.get(i, j) - a.get(i, j)).abs() < 1e-9,
+                    "({i},{j}): {} vs {}",
+                    back.get(i, j),
+                    a.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let v = test_unitary(6);
+        let a = hermitian_from(&v, &[6.0, 5.0, 4.0, 3.0, 2.0, 1.0]);
+        let e = eigh(&a);
+        let gram = e.vectors.hermitian().matmul(&e.vectors);
+        for i in 0..6 {
+            for j in 0..6 {
+                let want = if i == j { Complex::ONE } else { Complex::ZERO };
+                assert!((gram.get(i, j) - want).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenpairs_satisfy_definition() {
+        let v = test_unitary(4);
+        let a = hermitian_from(&v, &[7.0, 3.0, 1.5, 0.4]);
+        let e = eigh(&a);
+        for j in 0..4 {
+            let col: Vec<Complex> = (0..4).map(|i| e.vectors.get(i, j)).collect();
+            let av = a.matvec(&col);
+            for i in 0..4 {
+                let want = col[i] * e.values[j];
+                assert!((av[i] - want).abs() < 1e-9, "λ{j} component {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_eigenvalues_are_handled() {
+        // Identity: all eigenvalues equal 1.
+        let e = eigh(&CMatrix::identity(4));
+        for l in &e.values {
+            assert!((l - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Hermitian")]
+    fn non_hermitian_input_panics() {
+        let mut a = CMatrix::zeros(2, 2);
+        a.set(0, 1, Complex::from_real(1.0));
+        // a[1][0] left at 0 → not Hermitian.
+        let _ = eigh(&a);
+    }
+}

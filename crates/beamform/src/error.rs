@@ -1,0 +1,38 @@
+//! Error type for beamforming operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while designing or applying beamformer weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BeamformError {
+    /// A matrix inverse failed because the matrix is singular (or so
+    /// ill-conditioned that elimination broke down).
+    SingularMatrix,
+    /// Operand dimensions do not agree.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for BeamformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BeamformError::SingularMatrix => {
+                write!(
+                    f,
+                    "covariance matrix is singular; consider diagonal loading"
+                )
+            }
+            BeamformError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for BeamformError {}

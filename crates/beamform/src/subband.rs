@@ -1,0 +1,238 @@
+//! Subband (frequency-domain) MVDR beamforming.
+//!
+//! The paper's pipeline applies one narrowband MVDR at the chirp's
+//! centre frequency — a fine approximation for a 10 cm aperture, but the
+//! probing chirp spans a full octave-third. This extension designs MVDR
+//! weights *per STFT bin* across the probing band (each bin gets the
+//! steering vector and isotropic-noise coherence at its own frequency),
+//! processes the multichannel signal in the STFT domain and
+//! overlap-adds back — the textbook wideband MVDR.
+
+use crate::beamformer::mvdr_weights;
+use crate::covariance::SpatialCovariance;
+use crate::error::BeamformError;
+use echo_array::{Direction, MicArray};
+use echo_dsp::stft::{istft, stft_complex};
+use echo_dsp::Complex;
+
+/// A wideband beamformer with per-bin MVDR weights.
+#[derive(Debug, Clone)]
+pub struct SubbandBeamformer {
+    fft_size: usize,
+    hop: usize,
+    sample_rate: f64,
+    /// Per-bin weights; `None` outside the designed band (those bins are
+    /// zeroed — the band-pass comes for free).
+    weights: Vec<Option<Vec<Complex>>>,
+}
+
+impl SubbandBeamformer {
+    /// Designs per-bin MVDR weights for `look` over `[f_lo, f_hi]`,
+    /// using the spherically isotropic noise model at each bin frequency
+    /// with diagonal loading `loading`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BeamformError`] if any bin's weight design fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band or STFT geometry is invalid.
+    pub fn isotropic_mvdr(
+        array: &MicArray,
+        look: Direction,
+        f_lo: f64,
+        f_hi: f64,
+        sample_rate: f64,
+        fft_size: usize,
+        hop: usize,
+        speed_of_sound: f64,
+        loading: f64,
+    ) -> Result<Self, BeamformError> {
+        assert!(f_lo < f_hi, "band edges must satisfy f_lo < f_hi");
+        assert!(fft_size > 0 && hop > 0, "invalid STFT geometry");
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        let bins = fft_size / 2 + 1;
+        let mut weights = Vec::with_capacity(bins);
+        for k in 0..bins {
+            let f = k as f64 * sample_rate / fft_size as f64;
+            if f < f_lo || f > f_hi || f == 0.0 {
+                weights.push(None);
+                continue;
+            }
+            let cov = SpatialCovariance::isotropic(array, f, speed_of_sound, loading);
+            let sv = array.steering_vector_with(look, f, speed_of_sound);
+            weights.push(Some(mvdr_weights(&cov, &sv)?));
+        }
+        Ok(SubbandBeamformer {
+            fft_size,
+            hop,
+            sample_rate,
+            weights,
+        })
+    }
+
+    /// The STFT size.
+    pub fn fft_size(&self) -> usize {
+        self.fft_size
+    }
+
+    /// Number of bins carrying non-zero weights.
+    pub fn active_bins(&self) -> usize {
+        self.weights.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Sample rate the weights were designed for.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Beamforms M real channels into one real output of the same
+    /// length. Bins outside the designed band are zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channels are empty, ragged, or do not match the design's
+    /// microphone count.
+    pub fn process(&self, channels: &[Vec<f64>]) -> Vec<f64> {
+        assert!(!channels.is_empty(), "no channels to beamform");
+        let n = channels[0].len();
+        assert!(channels.iter().all(|c| c.len() == n), "ragged channels");
+        let m = self
+            .weights
+            .iter()
+            .flatten()
+            .next()
+            .map(|w| w.len())
+            .unwrap_or(0);
+        assert_eq!(channels.len(), m, "channel count does not match the design");
+
+        // Per-channel STFTs.
+        let specs: Vec<Vec<Vec<Complex>>> = channels
+            .iter()
+            .map(|c| stft_complex(c, self.fft_size, self.hop))
+            .collect();
+        let frames = specs[0].len();
+        let bins = self.fft_size / 2 + 1;
+
+        // y[t][k] = Σ_m w_m*(k) · X_m[t][k].
+        let mut out_frames = vec![vec![Complex::ZERO; bins]; frames];
+        for (t, out_frame) in out_frames.iter_mut().enumerate() {
+            for (k, out_bin) in out_frame.iter_mut().enumerate() {
+                if let Some(w) = &self.weights[k] {
+                    let mut acc = Complex::ZERO;
+                    for (wm, spec) in w.iter().zip(specs.iter()) {
+                        acc += wm.conj() * spec[t][k];
+                    }
+                    *out_bin = acc;
+                }
+            }
+        }
+        istft(&out_frames, self.fft_size, self.hop, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echo_dsp::chirp::LfmChirp;
+    use echo_dsp::SPEED_OF_SOUND;
+    use std::f64::consts::FRAC_PI_2;
+
+    const FS: f64 = 48_000.0;
+
+    /// Renders a broadband chirp plane wave from `dir` as per-mic delayed
+    /// copies (true time delays — not the narrowband approximation).
+    fn chirp_from(array: &MicArray, dir: Direction, amp: f64) -> Vec<Vec<f64>> {
+        let c = LfmChirp::new(2_000.0, 3_000.0, 0.01, FS);
+        let s = c.samples();
+        let n = 2_048;
+        (0..array.len())
+            .map(|m| {
+                let tau = array.tdoa(m, dir, SPEED_OF_SOUND) * FS;
+                let mut ch = vec![0.0; n];
+                echo_dsp::interp::add_delayed(&mut ch, &s, 512.0 + tau + 16.0, amp);
+                ch
+            })
+            .collect()
+    }
+
+    fn band_energy(signal: &[f64]) -> f64 {
+        signal.iter().map(|v| v * v).sum()
+    }
+
+    fn beamformer(look: Direction) -> SubbandBeamformer {
+        SubbandBeamformer::isotropic_mvdr(
+            &MicArray::respeaker_6(),
+            look,
+            2_000.0,
+            3_000.0,
+            FS,
+            256,
+            64,
+            SPEED_OF_SOUND,
+            0.05,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn look_direction_chirp_passes() {
+        let array = MicArray::respeaker_6();
+        let look = Direction::new(FRAC_PI_2, FRAC_PI_2);
+        let bf = beamformer(look);
+        let channels = chirp_from(&array, look, 1.0);
+        let y = bf.process(&channels);
+        // Output energy close to a single channel's energy (distortionless).
+        let ratio = band_energy(&y) / band_energy(&channels[0]);
+        assert!(ratio > 0.7 && ratio < 1.3, "pass ratio {ratio}");
+    }
+
+    #[test]
+    fn off_look_chirp_is_attenuated() {
+        let array = MicArray::respeaker_6();
+        let look = Direction::new(FRAC_PI_2, FRAC_PI_2);
+        let bf = beamformer(look);
+        let on = bf.process(&chirp_from(&array, look, 1.0));
+        let off = bf.process(&chirp_from(
+            &array,
+            Direction::new(FRAC_PI_2 + 2.4, FRAC_PI_2),
+            1.0,
+        ));
+        let gain = band_energy(&off) / band_energy(&on);
+        assert!(gain < 0.5, "off-look leakage {gain}");
+    }
+
+    #[test]
+    fn out_of_band_content_is_removed() {
+        let look = Direction::new(FRAC_PI_2, FRAC_PI_2);
+        let bf = beamformer(look);
+        // A 500 Hz tone on every channel (out of the 2–3 kHz design band).
+        let n = 2_048;
+        let tone: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * 500.0 * i as f64 / FS).sin())
+            .collect();
+        let channels = vec![tone; 6];
+        let y = bf.process(&channels);
+        let ratio = band_energy(&y[256..n - 256]) / band_energy(&channels[0][256..n - 256]);
+        assert!(ratio < 1e-3, "out-of-band leakage {ratio}");
+    }
+
+    #[test]
+    fn active_bins_cover_the_band() {
+        let bf = beamformer(Direction::front());
+        // 2–3 kHz at 48 kHz/256-point STFT: bins ~11–16.
+        assert!(
+            bf.active_bins() >= 5 && bf.active_bins() <= 8,
+            "{}",
+            bf.active_bins()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count")]
+    fn wrong_channel_count_panics() {
+        let bf = beamformer(Direction::front());
+        let _ = bf.process(&vec![vec![0.0; 512]; 3]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * MVDR vs delay-and-sum imaging (the paper's §V-C design),
+//! * beamformed vs single-microphone matched-filter ranging (§V-B
+//!   motivation),
+//! * CNN features vs raw downsampled pixels (§V-D),
+//! * envelope-averaging beep count L (Eq. 10).
+//!
+//! Criterion reports the runtime cost of each variant; the quality side
+//! of these ablations is exercised by `examples/ablation_study.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use echo_dsp::correlate::matched_filter;
+use echo_sim::{BodyModel, Placement, Scene, SceneConfig};
+use echoimage_core::config::{BeamformerKind, ImagingConfig, PipelineConfig};
+use echoimage_core::features::ImageFeatures;
+use echoimage_core::pipeline::EchoImagePipeline;
+use std::hint::black_box;
+
+fn fixtures() -> (Scene, BodyModel) {
+    (
+        Scene::new(SceneConfig::laboratory_quiet(42)),
+        BodyModel::from_seed(7),
+    )
+}
+
+fn bench_beamformer_kind(c: &mut Criterion) {
+    let (scene, body) = fixtures();
+    let cap = scene.capture_beep(&body, &Placement::standing_front(0.7), 0, 0);
+    let mut group = c.benchmark_group("ablation/imaging_beamformer");
+    group.sample_size(20);
+    for kind in [BeamformerKind::Mvdr, BeamformerKind::DelayAndSum] {
+        let mut cfg = PipelineConfig::default();
+        cfg.imaging = ImagingConfig {
+            beamformer: kind,
+            ..ImagingConfig::default()
+        };
+        let pipeline = EchoImagePipeline::new(cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, _| b.iter(|| pipeline.acoustic_image(black_box(&cap), 0.7).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ranging_variants(c: &mut Criterion) {
+    let (scene, body) = fixtures();
+    let caps = scene.capture_train(&body, &Placement::standing_front(0.7), 0, 4, 0);
+    let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+    let mut group = c.benchmark_group("ablation/ranging");
+    group.bench_function("beamformed_mvdr", |b| {
+        b.iter(|| pipeline.estimate_distance(black_box(&caps)).unwrap())
+    });
+    // The naive alternative the paper argues against: matched-filter one
+    // microphone directly.
+    let chirp = pipeline.config().beep.chirp().samples();
+    let filtered: Vec<_> = caps.iter().map(|c| pipeline.preprocess(c)).collect();
+    group.bench_function("single_mic", |b| {
+        b.iter(|| {
+            let mut acc = vec![0.0f64; filtered[0].len()];
+            for cap in &filtered {
+                let c = matched_filter(cap.channel(0), &chirp);
+                for (a, v) in acc.iter_mut().zip(c.iter()) {
+                    *a += v * v;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_feature_variants(c: &mut Criterion) {
+    let (scene, body) = fixtures();
+    let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+    let cap = scene.capture_beep(&body, &Placement::standing_front(0.7), 0, 0);
+    let img = pipeline.acoustic_image(&cap, 0.7).unwrap();
+    let fx = ImageFeatures::new();
+    let mut group = c.benchmark_group("ablation/features");
+    group.bench_function("frozen_cnn", |b| b.iter(|| fx.extract(black_box(&img))));
+    group.bench_function("raw_pixels", |b| b.iter(|| fx.raw_pixels(black_box(&img))));
+    group.finish();
+}
+
+fn bench_beep_count(c: &mut Criterion) {
+    let (scene, body) = fixtures();
+    let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+    let mut group = c.benchmark_group("ablation/ranging_beep_count");
+    group.sample_size(10);
+    for l in [1usize, 4, 10, 20] {
+        let caps = scene.capture_train(&body, &Placement::standing_front(0.7), 0, l, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
+            b.iter(|| pipeline.estimate_distance(black_box(&caps)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_beamformer_kind,
+    bench_ranging_variants,
+    bench_feature_variants,
+    bench_beep_count
+);
+criterion_main!(benches);

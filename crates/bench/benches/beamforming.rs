@@ -1,0 +1,129 @@
+//! Criterion benches for the beamforming substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use echo_array::{Direction, MicArray};
+use echo_beamform::{apply_weights, mvdr_weights, SpatialCovariance};
+use echo_dsp::Complex;
+use std::hint::black_box;
+
+fn snapshots(m: usize, n: usize) -> Vec<Vec<Complex>> {
+    (0..m)
+        .map(|ch| {
+            (0..n)
+                .map(|t| Complex::cis((t * (ch + 3)) as f64 * 0.01) * 0.3)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_covariance(c: &mut Criterion) {
+    let snaps = snapshots(6, 1_920);
+    c.bench_function("covariance/estimate_6x1920", |b| {
+        b.iter(|| SpatialCovariance::from_snapshots(black_box(&snaps), 1e-3))
+    });
+    let array = MicArray::respeaker_6();
+    c.bench_function("covariance/isotropic_model", |b| {
+        b.iter(|| SpatialCovariance::isotropic(black_box(&array), 2_500.0, 343.0, 0.05))
+    });
+}
+
+fn bench_mvdr(c: &mut Criterion) {
+    let array = MicArray::respeaker_6();
+    let cov = SpatialCovariance::isotropic(&array, 2_500.0, 343.0, 0.05);
+    let sv = array.steering_vector(Direction::front(), 2_500.0);
+    c.bench_function("mvdr/weights", |b| {
+        b.iter(|| mvdr_weights(black_box(&cov), black_box(&sv)).unwrap())
+    });
+    // The imaging loop's per-cell work: steering vector + weights.
+    c.bench_function("mvdr/per_grid_cell", |b| {
+        b.iter(|| {
+            let dir = Direction::new(1.1, 1.4);
+            let sv = array.steering_vector(dir, 2_500.0);
+            mvdr_weights(&cov, &sv).unwrap()
+        })
+    });
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let array = MicArray::respeaker_6();
+    let cov = SpatialCovariance::isotropic(&array, 2_500.0, 343.0, 0.05);
+    let sv = array.steering_vector(Direction::front(), 2_500.0);
+    let w = mvdr_weights(&cov, &sv).unwrap();
+    let snaps = snapshots(6, 3_360);
+    c.bench_function("beamform/apply_weights_full_window", |b| {
+        b.iter(|| apply_weights(black_box(&snaps), black_box(&w)))
+    });
+}
+
+fn bench_eigen_music(c: &mut Criterion) {
+    use echo_beamform::eigen::eigh;
+    use echo_beamform::music::music_spectrum;
+    use echo_beamform::CMatrix;
+
+    // 6×6 Hermitian eigendecomposition (the per-estimate cost of MUSIC).
+    let array = MicArray::respeaker_6();
+    let cov = SpatialCovariance::isotropic(&array, 2_500.0, 343.0, 0.05);
+    c.bench_function("eigen/eigh_6x6", |b| {
+        b.iter(|| eigh(black_box(cov.matrix())))
+    });
+    let _ = CMatrix::identity(2);
+
+    let snaps = snapshots(6, 256);
+    c.bench_function("music/spectrum_720pts", |b| {
+        b.iter(|| music_spectrum(&array, black_box(&snaps), 1, 2_500.0, 343.0, 1.57, 720))
+    });
+}
+
+fn bench_subband(c: &mut Criterion) {
+    use echo_array::Direction;
+    use echo_beamform::subband::SubbandBeamformer;
+    let array = MicArray::respeaker_6();
+    let bf = SubbandBeamformer::isotropic_mvdr(
+        &array,
+        Direction::front(),
+        2_000.0,
+        3_000.0,
+        48_000.0,
+        256,
+        64,
+        343.0,
+        0.05,
+    )
+    .unwrap();
+    let channels: Vec<Vec<f64>> = (0..6)
+        .map(|m| {
+            (0..3_360)
+                .map(|t| ((t * (m + 2)) as f64 * 0.01).sin())
+                .collect()
+        })
+        .collect();
+    c.bench_function("subband/design_2_3khz", |b| {
+        b.iter(|| {
+            SubbandBeamformer::isotropic_mvdr(
+                &array,
+                Direction::front(),
+                2_000.0,
+                3_000.0,
+                48_000.0,
+                256,
+                64,
+                343.0,
+                0.05,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("subband/process_beep_window", |b| {
+        b.iter(|| bf.process(black_box(&channels)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_covariance,
+    bench_mvdr,
+    bench_apply,
+    bench_eigen_music,
+    bench_subband
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion benches for the DSP substrate: the per-beep signal chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use echo_dsp::chirp::LfmChirp;
+use echo_dsp::correlate::matched_filter;
+use echo_dsp::fft::{fft, ifft};
+use echo_dsp::filter::SosFilter;
+use echo_dsp::hilbert::analytic_signal;
+use echo_dsp::Complex;
+use std::hint::black_box;
+
+fn test_signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as f64) * 0.37).sin() * ((i as f64) * 0.013).cos())
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[1_024usize, 4_096, 3_360 /* non-pow2 → Bluestein */] {
+        let data: Vec<Complex> = test_signal(n).into_iter().map(Complex::from_real).collect();
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut x = data.clone();
+                fft(black_box(&mut x));
+                x
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("round_trip", n), &n, |b, _| {
+            b.iter(|| {
+                let mut x = data.clone();
+                fft(&mut x);
+                ifft(&mut x);
+                x
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matched_filter(c: &mut Criterion) {
+    // One beep window (60 ms at 48 kHz) against the 96-sample chirp —
+    // the paper's Eq. 9 at production size.
+    let chirp = LfmChirp::new(2_000.0, 3_000.0, 0.002, 48_000.0).samples();
+    let rx = test_signal(3_360);
+    c.bench_function("matched_filter/beep_window", |b| {
+        b.iter(|| matched_filter(black_box(&rx), black_box(&chirp)))
+    });
+}
+
+fn bench_bandpass(c: &mut Criterion) {
+    let bp = SosFilter::butterworth_bandpass(4, 2_000.0, 3_000.0, 48_000.0);
+    let rx = test_signal(3_360);
+    let mut group = c.benchmark_group("bandpass");
+    group.bench_function("filter", |b| b.iter(|| bp.filter(black_box(&rx))));
+    group.bench_function("filtfilt", |b| b.iter(|| bp.filtfilt(black_box(&rx))));
+    group.bench_function("design", |b| {
+        b.iter(|| SosFilter::butterworth_bandpass(4, 2_000.0, 3_000.0, 48_000.0))
+    });
+    group.finish();
+}
+
+fn bench_hilbert(c: &mut Criterion) {
+    let rx = test_signal(3_360);
+    c.bench_function("hilbert/analytic_signal", |b| {
+        b.iter(|| analytic_signal(black_box(&rx)))
+    });
+}
+
+fn bench_stft(c: &mut Criterion) {
+    use echo_dsp::stft::{istft, stft, stft_complex};
+    let rx = test_signal(9_600);
+    c.bench_function("stft/magnitude_512_128", |b| {
+        b.iter(|| stft(black_box(&rx), 512, 128, 48_000.0))
+    });
+    let frames = stft_complex(&rx, 512, 128);
+    c.bench_function("stft/istft_round", |b| {
+        b.iter(|| istft(black_box(&frames), 512, 128, rx.len()))
+    });
+}
+
+fn bench_cfar_resample(c: &mut Criterion) {
+    use echo_dsp::cfar::ca_cfar;
+    use echo_dsp::resample::resample;
+    let rx = test_signal(3_360);
+    c.bench_function("cfar/beep_window", |b| {
+        b.iter(|| ca_cfar(black_box(&rx), 4, 16, 3.0))
+    });
+    c.bench_function("resample/48k_to_16k_window", |b| {
+        b.iter(|| resample(black_box(&rx), 48_000.0, 16_000.0, 8))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_matched_filter,
+    bench_bandpass,
+    bench_hilbert,
+    bench_stft,
+    bench_cfar_resample
+);
+criterion_main!(benches);

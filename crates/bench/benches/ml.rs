@@ -1,0 +1,74 @@
+//! Criterion benches for the learning substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use echo_ml::{FeatureExtractor, GrayImage, Kernel, KnnClassifier, Pca, SvmMulticlass};
+use std::hint::black_box;
+
+fn image() -> GrayImage {
+    GrayImage::from_fn(32, 32, |x, y| ((x * 13 + y * 7) % 19) as f64 * 0.1)
+}
+
+fn feature_set(n: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| {
+                    let cls = (i % 4) as f64;
+                    cls * 2.0 + (((i * 31 + d * 7) % 17) as f64 / 17.0 - 0.5)
+                })
+                .collect()
+        })
+        .collect();
+    let ys: Vec<usize> = (0..n).map(|i| i % 4).collect();
+    (xs, ys)
+}
+
+fn bench_cnn(c: &mut Criterion) {
+    let fx = FeatureExtractor::paper_default();
+    let img = image();
+    c.bench_function("ml/cnn_extract_32x32", |b| {
+        b.iter(|| fx.extract(black_box(&img)))
+    });
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let (xs, ys) = feature_set(160, 64);
+    let mut group = c.benchmark_group("ml/svm");
+    group.sample_size(10);
+    group.bench_function("train_4class_160x64", |b| {
+        b.iter(|| SvmMulticlass::train(black_box(&xs), &ys, Kernel::rbf_median(&xs), 10.0))
+    });
+    let svm = SvmMulticlass::train(&xs, &ys, Kernel::rbf_median(&xs), 10.0);
+    group.bench_function("predict", |b| b.iter(|| svm.predict(black_box(&xs[3]))));
+    group.finish();
+}
+
+fn bench_oneclass(c: &mut Criterion) {
+    use echo_ml::OneClassSvm;
+    let (xs, _) = feature_set(160, 64);
+    let mut group = c.benchmark_group("ml/oneclass");
+    group.sample_size(10);
+    group.bench_function("train_160x64", |b| {
+        b.iter(|| OneClassSvm::train(black_box(&xs), Kernel::rbf_median(&xs), 0.05))
+    });
+    let oc = OneClassSvm::train(&xs, Kernel::rbf_median(&xs), 0.05);
+    group.bench_function("decision", |b| b.iter(|| oc.decision(black_box(&xs[5]))));
+    group.finish();
+}
+
+fn bench_pca_knn(c: &mut Criterion) {
+    let (xs, ys) = feature_set(160, 64);
+    let mut group = c.benchmark_group("ml/reduction");
+    group.sample_size(10);
+    group.bench_function("pca_fit_64d_to_16", |b| {
+        b.iter(|| Pca::fit(black_box(&xs), 16))
+    });
+    let knn = KnnClassifier::fit(&xs, &ys, 5);
+    group.bench_function("knn_predict_160", |b| {
+        b.iter(|| knn.predict(black_box(&xs[7])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cnn, bench_svm, bench_oneclass, bench_pca_knn);
+criterion_main!(benches);

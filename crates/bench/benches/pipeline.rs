@@ -1,0 +1,101 @@
+//! Criterion benches for the end-to-end EchoImage pipeline stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use echo_sim::{BodyModel, Placement, Scene, SceneConfig};
+use echoimage_core::auth::{AuthConfig, Authenticator};
+use echoimage_core::pipeline::{EchoImagePipeline, PipelineConfig};
+use std::hint::black_box;
+
+fn fixtures() -> (Scene, BodyModel, EchoImagePipeline) {
+    (
+        Scene::new(SceneConfig::laboratory_quiet(42)),
+        BodyModel::from_seed(7),
+        EchoImagePipeline::new(PipelineConfig::default()),
+    )
+}
+
+fn bench_scene_render(c: &mut Criterion) {
+    let (scene, body, _) = fixtures();
+    let placement = Placement::standing_front(0.7);
+    c.bench_function("scene/capture_beep", |b| {
+        b.iter(|| scene.capture_beep(black_box(&body), &placement, 0, 0))
+    });
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let (scene, body, pipeline) = fixtures();
+    let cap = scene.capture_beep(&body, &Placement::standing_front(0.7), 0, 0);
+    c.bench_function("pipeline/preprocess", |b| {
+        b.iter(|| pipeline.preprocess(black_box(&cap)))
+    });
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let (scene, body, pipeline) = fixtures();
+    let caps = scene.capture_train(&body, &Placement::standing_front(0.7), 0, 4, 0);
+    c.bench_function("pipeline/estimate_distance_L4", |b| {
+        b.iter(|| pipeline.estimate_distance(black_box(&caps)).unwrap())
+    });
+}
+
+fn bench_imaging(c: &mut Criterion) {
+    let (scene, body, pipeline) = fixtures();
+    let cap = scene.capture_beep(&body, &Placement::standing_front(0.7), 0, 0);
+    let mut group = c.benchmark_group("pipeline/acoustic_image");
+    group.sample_size(20);
+    group.bench_function("32x32", |b| {
+        b.iter(|| pipeline.acoustic_image(black_box(&cap), 0.7).unwrap())
+    });
+    // The paper's full-scale 180×180 grid.
+    let mut full = PipelineConfig::default();
+    full.imaging = echoimage_core::config::ImagingConfig::paper_full();
+    let full_pipeline = EchoImagePipeline::new(full);
+    group.sample_size(10);
+    group.bench_function("paper_180x180", |b| {
+        b.iter(|| full_pipeline.acoustic_image(black_box(&cap), 0.7).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_features(c: &mut Criterion) {
+    let (scene, body, pipeline) = fixtures();
+    let cap = scene.capture_beep(&body, &Placement::standing_front(0.7), 0, 0);
+    let img = pipeline.acoustic_image(&cap, 0.7).unwrap();
+    c.bench_function("pipeline/cnn_features", |b| {
+        b.iter(|| pipeline.features(black_box(&img)))
+    });
+}
+
+fn bench_authentication(c: &mut Criterion) {
+    let (scene, _, pipeline) = fixtures();
+    // Enrol three users with 6 beeps each.
+    let mut users = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let body = BodyModel::from_seed(seed);
+        let caps = scene.capture_train(&body, &Placement::standing_front(0.7), 0, 6, 0);
+        let feats = pipeline.features_from_train(&caps).unwrap();
+        users.push((seed as usize, feats));
+    }
+    let mut group = c.benchmark_group("auth");
+    group.sample_size(10);
+    group.bench_function("enroll_3_users", |b| {
+        b.iter(|| Authenticator::enroll(black_box(&users), &AuthConfig::default()).unwrap())
+    });
+    let auth = Authenticator::enroll(&users, &AuthConfig::default()).unwrap();
+    let probe = users[0].1[0].clone();
+    group.bench_function("authenticate_one_sample", |b| {
+        b.iter(|| auth.authenticate(black_box(&probe)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scene_render,
+    bench_preprocess,
+    bench_distance,
+    bench_imaging,
+    bench_features,
+    bench_authentication
+);
+criterion_main!(benches);

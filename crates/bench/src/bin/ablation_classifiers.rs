@@ -1,0 +1,44 @@
+//! Extension — classifier-stage ablations: SVM vs k-NN, PCA dimension
+//! sweep, and pooled vs per-user spoofer gate.
+
+use echo_bench::{artefact_note, banner, quick_mode};
+use echo_eval::experiments::ablation_classifiers;
+use echo_eval::report;
+
+fn main() {
+    banner(
+        "Ablations",
+        "classifier stage: SVM vs k-NN, PCA dims, gate construction",
+        "the paper picks SVM + a pooled SVDD without comparison",
+    );
+    let mut cfg = ablation_classifiers::Config::default();
+    if quick_mode() {
+        cfg.users = 3;
+        cfg.spoofers = 2;
+        cfg.visits = 2;
+        cfg.beeps_per_visit = 4;
+        cfg.test_beeps = 3;
+        cfg.pca_dims = vec![16];
+    }
+    let out = ablation_classifiers::run(&cfg).expect("ablation run failed");
+
+    println!("attribution accuracy (genuine probes → correct user):");
+    println!("  one-vs-one SVM     : {:.3}", out.svm_accuracy);
+    println!("  5-NN baseline      : {:.3}", out.knn_accuracy);
+    for (dim, acc) in &out.pca_accuracy {
+        println!("  SVM on PCA-{dim:<4}    : {acc:.3}");
+    }
+    println!("\nspoofer gate (full cascade):");
+    println!(
+        "  per-user domains   : genuine accept {:.3}, spoofer reject {:.3}",
+        out.per_user_gate.genuine_accept, out.per_user_gate.spoofer_reject
+    );
+    println!(
+        "  pooled SVDD (paper): genuine accept {:.3}, spoofer reject {:.3}",
+        out.pooled_gate.genuine_accept, out.pooled_gate.spoofer_reject
+    );
+    match report::write_artefact("ablation_classifiers", &out) {
+        Ok(p) => artefact_note(&p),
+        Err(e) => eprintln!("could not write artefact: {e}"),
+    }
+}

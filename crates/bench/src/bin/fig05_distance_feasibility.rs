@@ -1,0 +1,44 @@
+//! Fig. 5 — body-echo detection and distance-estimation feasibility.
+
+use echo_bench::{artefact_note, banner, quick_mode};
+use echo_eval::experiments::fig05;
+use echo_eval::report;
+
+fn main() {
+    banner(
+        "Fig. 5",
+        "body echo detection via matched-filter correlation peaks",
+        "user at 0.6 m; τ₁ starts the chirp period; echo in the 10 ms echo \
+         period; D_f = 0.68 m, D_p = 0.58 m (ground truth 0.6 m)",
+    );
+    let cfg = fig05::Config {
+        beeps: if quick_mode() { 6 } else { 20 },
+        ..fig05::Config::default()
+    };
+    let out = fig05::run(&cfg).expect("distance feasibility run failed");
+
+    println!("true horizontal distance : {:.3} m", out.true_distance);
+    println!(
+        "estimated slant D_f      : {:.3} m   (paper: 0.68 m)",
+        out.slant_distance
+    );
+    println!(
+        "estimated horizontal D_p : {:.3} m   (paper: 0.58 m)",
+        out.horizontal_distance
+    );
+    println!("absolute error           : {:.3} m", out.error);
+    println!(
+        "direct peak τ₁ at {:.4} s; body echo at {:.4} s (Δ = {:.4} s)",
+        out.direct_peak_time,
+        out.echo_peak_time,
+        out.echo_peak_time - out.direct_peak_time
+    );
+    println!("\ncorrelation-envelope peaks (time s, relative value):");
+    for p in out.peaks.iter().take(8) {
+        println!("  τ = {:.4} s   E/E_max = {:.2e}", p.time, p.relative_value);
+    }
+    match report::write_artefact("fig05_distance_feasibility", &out) {
+        Ok(p) => artefact_note(&p),
+        Err(e) => eprintln!("could not write artefact: {e}"),
+    }
+}

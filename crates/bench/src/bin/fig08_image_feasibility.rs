@@ -1,0 +1,47 @@
+//! Fig. 8 — acoustic images of two users: same-user images similar,
+//! cross-user images distinct.
+
+use echo_bench::{artefact_note, banner};
+use echo_eval::experiments::fig08;
+use echo_eval::report;
+
+fn main() {
+    banner(
+        "Fig. 8",
+        "acoustic images of user A and user B",
+        "images of one user very similar; images across users differ significantly",
+    );
+    let out = fig08::run(&fig08::Config::default()).expect("image feasibility run failed");
+    println!(
+        "same-user  image similarity : {:.4}",
+        out.same_user_similarity
+    );
+    println!(
+        "cross-user image similarity : {:.4}",
+        out.cross_user_similarity
+    );
+    println!(
+        "shape holds: same-user > cross-user → {}",
+        out.same_user_similarity > out.cross_user_similarity
+    );
+
+    // ASCII rendering of the two acoustic images, as the paper's Fig. 8
+    // shows heat maps.
+    let ramp: &[u8] = b" .:-=+*#%@";
+    for (label, img) in [("user A", &out.image_a), ("user B", &out.image_b)] {
+        println!("\nacoustic image of {label} ({0}×{0}):", out.grid_n);
+        for row in 0..out.grid_n {
+            let line: String = (0..out.grid_n)
+                .map(|col| {
+                    let v = img[row * out.grid_n + col];
+                    ramp[((v * 9.0) as usize).min(9)] as char
+                })
+                .collect();
+            println!("  {line}");
+        }
+    }
+    match report::write_artefact("fig08_image_feasibility", &out) {
+        Ok(p) => artefact_note(&p),
+        Err(e) => eprintln!("could not write artefact: {e}"),
+    }
+}

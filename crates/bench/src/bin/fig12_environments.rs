@@ -1,0 +1,50 @@
+//! Fig. 12 — robustness across environments and ambient noises.
+
+use echo_bench::{artefact_note, banner, quick_mode};
+use echo_eval::experiments::{fig12, protocol::ProtocolConfig};
+use echo_eval::report;
+
+fn main() {
+    banner(
+        "Fig. 12",
+        "recall/precision/accuracy across laboratory, conference hall and outdoor × quiet/music/chatter/traffic",
+        "overall performance over 0.9 in every cell; quiet conditions best",
+    );
+    let cfg = fig12::Config {
+        users: if quick_mode() { 4 } else { 8 },
+        spoofers: if quick_mode() { 2 } else { 4 },
+        protocol: ProtocolConfig {
+            train_beeps: if quick_mode() { 8 } else { 36 },
+            test_beeps: if quick_mode() { 3 } else { 6 },
+            test_sessions: vec![0, 2],
+            ..ProtocolConfig::default()
+        },
+        ..fig12::Config::default()
+    };
+    let out = fig12::run(&cfg).expect("environments run failed");
+
+    println!(
+        "{:<18} {:<9} {:>7} {:>9} {:>9}",
+        "environment", "noise", "recall", "precision", "accuracy"
+    );
+    for cell in &out.cells {
+        println!(
+            "{:<18} {:<9} {:>7.3} {:>9.3} {:>9.3}",
+            cell.environment,
+            cell.noise,
+            cell.metrics.recall,
+            cell.metrics.precision,
+            cell.metrics.accuracy
+        );
+    }
+    let worst = out
+        .cells
+        .iter()
+        .map(|c| c.metrics.accuracy)
+        .fold(f64::INFINITY, f64::min);
+    println!("\nworst-cell accuracy: {worst:.3}   (paper: all cells > 0.9)");
+    match report::write_artefact("fig12_environments", &out) {
+        Ok(p) => artefact_note(&p),
+        Err(e) => eprintln!("could not write artefact: {e}"),
+    }
+}

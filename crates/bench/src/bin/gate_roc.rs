@@ -1,0 +1,63 @@
+//! Extension — ROC/EER sweep of the spoofer gate (not in the paper,
+//! which reports threshold-at-zero rates only; standard biometric
+//! practice).
+
+use echo_bench::{artefact_note, banner, quick_mode};
+use echo_eval::experiments::protocol::{enroll, ProtocolConfig, TEST_BEEP_OFFSET};
+use echo_eval::harness::{CaptureSpec, Harness};
+use echo_eval::report;
+use echo_eval::roc::roc_curve;
+use echo_sim::Population;
+
+fn main() {
+    banner(
+        "ROC",
+        "spoofer-gate ROC / EER sweep (extension)",
+        "not in the paper — complements Fig. 11's fixed-threshold rates",
+    );
+    let harness = Harness::new(2023);
+    let population = Population::paper_table1(2023);
+    let registered: Vec<_> = population.registered().collect();
+    let spoofers: Vec<_> = population.spoofers().collect();
+    let proto = ProtocolConfig {
+        train_beeps: if quick_mode() { 8 } else { 24 },
+        test_beeps: if quick_mode() { 3 } else { 6 },
+        ..ProtocolConfig::default()
+    };
+    let spec = CaptureSpec::default_lab(0);
+    let auth = enroll(&harness, &registered, &spec, &proto).expect("enrolment failed");
+
+    let mut genuine = Vec::new();
+    let mut impostor = Vec::new();
+    for (list, out) in [(&registered, &mut genuine), (&spoofers, &mut impostor)] {
+        for profile in list.iter() {
+            let test_spec = CaptureSpec {
+                session: 237,
+                beeps: proto.test_beeps,
+                beep_offset: TEST_BEEP_OFFSET + profile.id as u64 * 1_000,
+                ..spec.clone()
+            };
+            if let Ok(feats) = harness.features_for_profile(profile, &test_spec) {
+                out.extend(feats.iter().map(|f| auth.gate_decision(f)));
+            }
+        }
+    }
+
+    let roc = roc_curve(&genuine, &impostor);
+    println!("genuine samples : {}", genuine.len());
+    println!("impostor samples: {}", impostor.len());
+    println!(
+        "EER             : {:.3} at threshold {:+.4}",
+        roc.eer, roc.eer_threshold
+    );
+    println!("AUC             : {:.3}", roc.auc);
+    println!("\n{:>10} {:>7} {:>7}", "threshold", "FAR", "FRR");
+    let step = (roc.points.len() / 12).max(1);
+    for p in roc.points.iter().step_by(step) {
+        println!("{:>10.4} {:>7.3} {:>7.3}", p.threshold, p.far, p.frr);
+    }
+    match report::write_artefact("gate_roc", &roc) {
+        Ok(p) => artefact_note(&p),
+        Err(e) => eprintln!("could not write artefact: {e}"),
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Each `src/bin/figNN_*.rs` binary reruns one experiment from the
+//! paper's evaluation (§VI) on the simulated substrate, prints the same
+//! rows/series the paper reports next to the paper's own numbers, and
+//! writes a JSON artefact under `target/experiments/`.
+
+use echo_eval::metrics::AuthMetrics;
+
+/// Parses the common `--quick` flag (reduced counts for smoke runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Prints a standard experiment header.
+pub fn banner(id: &str, title: &str, paper_claim: &str) {
+    println!("════════════════════════════════════════════════════════════════");
+    println!("EchoImage reproduction — {id}: {title}");
+    println!("paper: {paper_claim}");
+    println!("════════════════════════════════════════════════════════════════");
+}
+
+/// Formats one metrics row.
+pub fn metrics_row(label: &str, m: &AuthMetrics) -> String {
+    format!(
+        "{label:<28} recall {:.3}  precision {:.3}  accuracy {:.3}  F {:.3}",
+        m.recall, m.precision, m.accuracy, m.f_measure
+    )
+}
+
+/// Reports where the JSON artefact landed.
+pub fn artefact_note(path: &std::path::Path) {
+    println!("\nartefact: {}", path.display());
+}

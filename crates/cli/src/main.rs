@@ -1,0 +1,66 @@
+//! `echoimage` — command-line interface for the EchoImage reproduction.
+//!
+//! ```text
+//! echoimage simulate --seed 7 --user 1 --distance 0.7 --beeps 4 --out capture.wav
+//! echoimage range capture.wav
+//! echoimage image capture.wav --distance 0.72
+//! echoimage demo
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "simulate" => commands::simulate(rest),
+        "range" => commands::range(rest),
+        "image" => commands::image(rest),
+        "demo" => commands::demo(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `echoimage help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "echoimage — user authentication on smart speakers using acoustic signals
+
+USAGE:
+    echoimage <COMMAND> [OPTIONS]
+
+COMMANDS:
+    simulate   render a simulated multichannel beep capture to a WAV file
+                 --seed <u64>       scene seed              [default: 7]
+                 --user <u64>       body seed; 0 = empty    [default: 1]
+                 --distance <m>     user distance           [default: 0.7]
+                 --beeps <n>        beeps to concatenate    [default: 1]
+                 --out <path>       output WAV              [default: capture.wav]
+    range      estimate the user distance from a capture WAV
+                 <path>             input WAV (one beep per 70 ms window)
+                 --preroll <n>      noise-only samples per window [default: 480]
+    image      construct and print an acoustic image from a capture WAV
+                 <path>             input WAV
+                 --distance <m>     imaging-plane distance; 0 = estimate [default: 0]
+                 --preroll <n>      noise-only samples      [default: 480]
+    demo       run an end-to-end enrol/authenticate demonstration
+                 --seed <u64>       scenario seed           [default: 7]
+    help       show this message"
+    );
+}

@@ -1,0 +1,179 @@
+//! Inverse-square data augmentation (paper §V-F).
+//!
+//! Collecting enrolment images at every possible distance would burden
+//! the user, so the paper synthesises training images at new distances
+//! from images captured at one distance: for each grid cell the pixel is
+//! rescaled by the inverse-square law,
+//! `P′_k = (D_k / D′_k)² · P_k` (Eq. 15), where `D_k` and `D′_k` are the
+//! cell-to-origin distances of the source and target planes (Eq. 13–14).
+
+use crate::config::ImagingConfig;
+use crate::error::EchoImageError;
+use crate::imaging::cell_distance;
+use echo_ml::GrayImage;
+
+/// Synthesises the acoustic image the user would produce at distance
+/// `d_p_to`, given a real image captured at `d_p_from`.
+///
+/// # Errors
+///
+/// Returns [`EchoImageError::InvalidParameter`] when either distance is
+/// non-positive or the image does not match `config`'s grid.
+///
+/// # Example
+///
+/// ```
+/// use echoimage_core::augment::augment_to_distance;
+/// use echoimage_core::config::ImagingConfig;
+/// use echo_ml::GrayImage;
+///
+/// let cfg = ImagingConfig::default();
+/// let img = GrayImage::from_fn(cfg.grid_n, cfg.grid_n, |x, y| (x + y) as f64);
+/// let farther = augment_to_distance(&img, &cfg, 0.7, 1.4).unwrap();
+/// // Moving away shrinks every pixel (inverse-square).
+/// assert!(farther.pixels().iter().sum::<f64>() < img.pixels().iter().sum::<f64>());
+/// ```
+pub fn augment_to_distance(
+    image: &GrayImage,
+    config: &ImagingConfig,
+    d_p_from: f64,
+    d_p_to: f64,
+) -> Result<GrayImage, EchoImageError> {
+    if !(d_p_from.is_finite() && d_p_from > 0.0 && d_p_to.is_finite() && d_p_to > 0.0) {
+        return Err(EchoImageError::InvalidParameter(
+            "augmentation distances must be positive",
+        ));
+    }
+    if image.width() != config.grid_n || image.height() != config.grid_n {
+        return Err(EchoImageError::InvalidParameter(
+            "image size does not match the imaging grid",
+        ));
+    }
+    let mut out = GrayImage::zeros(image.width(), image.height());
+    for row in 0..config.grid_n {
+        for col in 0..config.grid_n {
+            let (x_k, z_k) = config.cell_center(col, row);
+            let d_k = cell_distance(x_k, d_p_from, z_k);
+            let d_k_to = cell_distance(x_k, d_p_to, z_k);
+            let scale = (d_k / d_k_to) * (d_k / d_k_to);
+            out.set(col, row, image.get(col, row) * scale);
+        }
+    }
+    Ok(out)
+}
+
+/// Synthesises images at each distance in `targets` from one source
+/// image — the enrolment-time augmentation sweep.
+///
+/// # Errors
+///
+/// Propagates the first [`EchoImageError::InvalidParameter`] from
+/// [`augment_to_distance`].
+pub fn augment_sweep(
+    image: &GrayImage,
+    config: &ImagingConfig,
+    d_p_from: f64,
+    targets: &[f64],
+) -> Result<Vec<GrayImage>, EchoImageError> {
+    targets
+        .iter()
+        .map(|&d| augment_to_distance(image, config, d_p_from, d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ImagingConfig {
+        ImagingConfig::default()
+    }
+
+    fn test_image(c: &ImagingConfig) -> GrayImage {
+        GrayImage::from_fn(c.grid_n, c.grid_n, |x, y| {
+            1.0 + ((x * 7 + y * 3) % 13) as f64
+        })
+    }
+
+    #[test]
+    fn identity_augmentation_is_noop() {
+        let c = cfg();
+        let img = test_image(&c);
+        let same = augment_to_distance(&img, &c, 0.7, 0.7).unwrap();
+        for (a, b) in img.pixels().iter().zip(same.pixels()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_original() {
+        let c = cfg();
+        let img = test_image(&c);
+        let there = augment_to_distance(&img, &c, 0.7, 1.2).unwrap();
+        let back = augment_to_distance(&there, &c, 1.2, 0.7).unwrap();
+        for (a, b) in img.pixels().iter().zip(back.pixels()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn moving_closer_brightens_moving_away_darkens() {
+        let c = cfg();
+        let img = test_image(&c);
+        let closer = augment_to_distance(&img, &c, 1.0, 0.6).unwrap();
+        let farther = augment_to_distance(&img, &c, 1.0, 1.5).unwrap();
+        for ((orig, near), far) in img
+            .pixels()
+            .iter()
+            .zip(closer.pixels())
+            .zip(farther.pixels())
+        {
+            assert!(near > orig);
+            assert!(far < orig);
+        }
+    }
+
+    #[test]
+    fn center_cell_scales_by_pure_inverse_square() {
+        let c = cfg();
+        let mut img = GrayImage::zeros(c.grid_n, c.grid_n);
+        // The cell nearest the plane centre.
+        let mid = c.grid_n / 2;
+        img.set(mid, mid, 100.0);
+        let out = augment_to_distance(&img, &c, 0.7, 1.4).unwrap();
+        let (x_k, z_k) = c.cell_center(mid, mid);
+        let expect = 100.0 * (cell_distance(x_k, 0.7, z_k) / cell_distance(x_k, 1.4, z_k)).powi(2);
+        assert!((out.get(mid, mid) - expect).abs() < 1e-9);
+        // Off-centre cells scale by *less* than (0.7/1.4)⁻²'s reciprocal
+        // because their lateral offset dilutes the distance change.
+        assert!(expect > 100.0 * (0.7f64 / 1.4).powi(2));
+    }
+
+    #[test]
+    fn sweep_generates_one_image_per_target() {
+        let c = cfg();
+        let img = test_image(&c);
+        let targets = [0.6, 0.8, 1.0, 1.2];
+        let out = augment_sweep(&img, &c, 0.7, &targets).unwrap();
+        assert_eq!(out.len(), 4);
+        for o in &out {
+            assert_eq!(o.width(), c.grid_n);
+        }
+    }
+
+    #[test]
+    fn invalid_distances_are_rejected() {
+        let c = cfg();
+        let img = test_image(&c);
+        assert!(augment_to_distance(&img, &c, 0.0, 1.0).is_err());
+        assert!(augment_to_distance(&img, &c, 1.0, -1.0).is_err());
+        assert!(augment_to_distance(&img, &c, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn mismatched_grid_is_rejected() {
+        let c = cfg();
+        let img = GrayImage::zeros(c.grid_n + 1, c.grid_n);
+        assert!(augment_to_distance(&img, &c, 0.7, 1.0).is_err());
+    }
+}

@@ -1,0 +1,543 @@
+//! The two-stage authentication model (paper §V-E, Fig. 10).
+//!
+//! Single-user: one SVDD-style one-class SVM trained on the legitimate
+//! user's features decides accept/reject directly.
+//!
+//! Multi-user: a spoofer gate trained on the registered users' data
+//! first rejects outsiders; samples that pass are then assigned to a
+//! user by an n-class SVM.
+//!
+//! The gate comes in two flavours ([`GateMode`]): the paper's pooled
+//! SVDD over all users' data, and the default per-user variant — one
+//! SVDD per enrolled user with a per-user kernel width, accepting when
+//! *any* user's domain accepts. The union of per-user domains describes
+//! the same region the pooled SVDD approximates, but calibrates its
+//! radius to each user's own variability, which matters when users
+//! differ in how repeatable their echoes are.
+
+use crate::error::EchoImageError;
+use echo_ml::{Kernel, OneClassSvm, StandardScaler, SvmMulticlass};
+
+/// How the spoofer gate is trained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum GateMode {
+    /// One SVDD per enrolled user; accept if any accepts (default).
+    #[default]
+    PerUser,
+    /// A single SVDD over all users' enrolment data (the paper's
+    /// description, kept for ablation).
+    Pooled,
+}
+
+/// Classifier hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AuthConfig {
+    /// One-class SVM ν (upper bound on the enrolment outlier fraction).
+    pub nu: f64,
+    /// Multi-class SVM regularisation parameter C.
+    pub c: f64,
+    /// RBF γ; `None` derives it from the intra-user distance scale.
+    pub gamma: Option<f64>,
+    /// Gate construction.
+    pub gate: GateMode,
+}
+
+impl Default for AuthConfig {
+    fn default() -> Self {
+        AuthConfig {
+            nu: 0.05,
+            c: 10.0,
+            gamma: None,
+            gate: GateMode::PerUser,
+        }
+    }
+}
+
+/// The outcome of one authentication attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AuthDecision {
+    /// The sample passed the spoofer gate and was attributed to a
+    /// registered user.
+    Accepted {
+        /// The predicted registered user.
+        user_id: usize,
+    },
+    /// The sample was rejected as a spoofer.
+    Rejected,
+}
+
+impl AuthDecision {
+    /// `true` when the decision accepted some user.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, AuthDecision::Accepted { .. })
+    }
+
+    /// The accepted user id, if any.
+    pub fn user_id(&self) -> Option<usize> {
+        match self {
+            AuthDecision::Accepted { user_id } => Some(*user_id),
+            AuthDecision::Rejected => None,
+        }
+    }
+}
+
+/// A trained EchoImage authenticator.
+///
+/// # Example
+///
+/// ```
+/// use echoimage_core::auth::{AuthConfig, Authenticator};
+///
+/// // Two registered users with separable (toy) features.
+/// let u1: Vec<Vec<f64>> = (0..30).map(|i| vec![0.0 + (i % 5) as f64 * 0.02, 0.0]).collect();
+/// let u2: Vec<Vec<f64>> = (0..30).map(|i| vec![1.0 + (i % 5) as f64 * 0.02, 1.0]).collect();
+/// let auth = Authenticator::enroll(&[(1, u1), (2, u2)], &AuthConfig::default()).unwrap();
+///
+/// assert_eq!(auth.authenticate(&[0.02, 0.0]).user_id(), Some(1));
+/// assert_eq!(auth.authenticate(&[1.02, 1.0]).user_id(), Some(2));
+/// // A far-away spoofer is gated out.
+/// assert!(!auth.authenticate(&[10.0, -7.0]).is_accepted());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Authenticator {
+    scaler: StandardScaler,
+    /// Spoofer gates as `(svm, threshold, owner)`. A gate's threshold
+    /// is 0 for single-mode users; for multi-mode enrolments it is
+    /// self-calibrated to the upper-quartile score the user's *sibling*
+    /// modes achieve under that gate (a probe is accepted by a mode if
+    /// it looks at least as much like it as the neighbouring modes do).
+    gates: Vec<(OneClassSvm, f64, usize)>,
+    classifier: Option<SvmMulticlass>,
+    single_user: Option<usize>,
+}
+
+impl Authenticator {
+    /// Enrols registered users from `(user_id, feature_vectors)` pairs.
+    ///
+    /// With one user only the SVDD gate is trained (the paper's
+    /// single-user scenario); with several users the n-class SVM is
+    /// trained as well.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EchoImageError::InvalidParameter`] when no users or no
+    /// samples are provided, or ids repeat.
+    pub fn enroll(
+        users: &[(usize, Vec<Vec<f64>>)],
+        config: &AuthConfig,
+    ) -> Result<Self, EchoImageError> {
+        let grouped: Vec<(usize, Vec<Vec<Vec<f64>>>)> = users
+            .iter()
+            .map(|(id, xs)| (*id, vec![xs.clone()]))
+            .collect();
+        Self::enroll_with_groups(&grouped, config)
+    }
+
+    /// Enrols users whose enrolment clouds are *multi-modal*: each user
+    /// provides one or more groups of feature vectors (e.g. one group
+    /// per synthesised distance from the §V-F augmentation). The spoofer
+    /// gate wraps every group in its own domain description with a
+    /// kernel width matched to that group's spread — a single radius
+    /// cannot wrap a multi-modal cloud tightly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EchoImageError::InvalidParameter`] when no users, empty
+    /// users/groups, or duplicate ids are provided.
+    pub fn enroll_with_groups(
+        users: &[(usize, Vec<Vec<Vec<f64>>>)],
+        config: &AuthConfig,
+    ) -> Result<Self, EchoImageError> {
+        if users.is_empty() {
+            return Err(EchoImageError::InvalidParameter("no users to enrol"));
+        }
+        if users
+            .iter()
+            .any(|(_, gs)| gs.is_empty() || gs.iter().any(|g| g.is_empty()))
+        {
+            return Err(EchoImageError::InvalidParameter(
+                "every user needs at least one non-empty enrolment group",
+            ));
+        }
+        let mut ids: Vec<usize> = users.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() != users.len() {
+            return Err(EchoImageError::InvalidParameter("duplicate user ids"));
+        }
+
+        let mut all: Vec<Vec<f64>> = Vec::new();
+        let mut labels: Vec<usize> = Vec::new();
+        for (id, gs) in users {
+            for g in gs {
+                for x in g {
+                    all.push(x.clone());
+                    labels.push(*id);
+                }
+            }
+        }
+        // Centre per feature, scale globally: per-feature scaling would
+        // inflate noise-only dimensions to the same variance as the
+        // discriminative ones and flatten the kernel's distance contrast.
+        let scaler = StandardScaler::fit_global(&all);
+        let scaled = scaler.transform_batch(&all);
+        // Scaled per-user flat clouds (for pooled mode / SVM kernel) and
+        // scaled per-(user, group) clouds (for per-group gates).
+        let user_clouds: Vec<Vec<Vec<f64>>> = users
+            .iter()
+            .map(|(_, gs)| {
+                let flat: Vec<Vec<f64>> = gs.iter().flatten().cloned().collect();
+                scaler.transform_batch(&flat)
+            })
+            .collect();
+        let group_clouds: Vec<Vec<Vec<f64>>> = users
+            .iter()
+            .flat_map(|(_, gs)| gs.iter().map(|g| scaler.transform_batch(g)))
+            .collect();
+
+        // Per-(user, group) kernel width. A group that is the user's only
+        // mode is sized by its internal spread. When a user has several
+        // modes (e.g. §V-F synthesised distance clouds), each mode's
+        // radius additionally covers a fraction of the spacing to the
+        // nearest sibling mode: the modes are samples along a continuum
+        // (distance), and authentication-time features fall *between*
+        // them, not on them.
+        let group_gamma = |user_groups: &[Vec<Vec<f64>>], idx: usize| -> Kernel {
+            if let Some(g) = config.gamma {
+                return Kernel::Rbf { gamma: g };
+            }
+            let cloud = &user_groups[idx];
+            let base = intra_rbf(std::slice::from_ref(cloud), scaler.dim());
+            let Kernel::Rbf { gamma: g_intra } = base else {
+                return base;
+            };
+            if user_groups.len() < 2 {
+                return Kernel::Rbf { gamma: g_intra };
+            }
+            let mean = |c: &Vec<Vec<f64>>| -> Vec<f64> {
+                let d = c[0].len();
+                let mut m = vec![0.0; d];
+                for x in c {
+                    for (mi, xi) in m.iter_mut().zip(x) {
+                        *mi += xi;
+                    }
+                }
+                m.iter_mut().for_each(|v| *v /= c.len() as f64);
+                m
+            };
+            let own = mean(cloud);
+            let spacing2 = user_groups
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != idx)
+                .map(|(_, other)| {
+                    let om = mean(other);
+                    own.iter()
+                        .zip(&om)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                })
+                .fold(f64::INFINITY, f64::min);
+            // Radius covers the full gap to the nearest sibling mode:
+            // empirically the residual between a synthesised mode and
+            // the real capture it stands in for is of the same order as
+            // the displacement between neighbouring modes.
+            let g_spacing = 1.0 / (GAMMA_WIDENING * spacing2.max(1e-12));
+            Kernel::Rbf {
+                gamma: g_intra.min(g_spacing),
+            }
+        };
+
+        let gates = match config.gate {
+            GateMode::PerUser => {
+                let mut gates = Vec::new();
+                let mut offset = 0usize;
+                let mut gates_user_idx = 0usize;
+                for (_, gs) in users {
+                    let user_groups = &group_clouds[offset..offset + gs.len()];
+                    for (idx, cloud) in user_groups.iter().enumerate() {
+                        let svm =
+                            OneClassSvm::train(cloud, group_gamma(user_groups, idx), config.nu);
+                        // Self-calibrate against sibling modes.
+                        let mut sibling_scores: Vec<f64> = user_groups
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| *j != idx)
+                            .flat_map(|(_, other)| other.iter().map(|x| svm.decision(x)))
+                            .collect();
+                        let threshold = if sibling_scores.is_empty() {
+                            0.0
+                        } else {
+                            sibling_scores.sort_by(f64::total_cmp);
+                            sibling_scores[(sibling_scores.len() * 3) / 4].min(0.0)
+                        };
+                        gates.push((svm, threshold, users[gates_user_idx].0));
+                    }
+                    gates_user_idx += 1;
+                    offset += gs.len();
+                }
+                gates
+            }
+            GateMode::Pooled => {
+                let kernel = match config.gamma {
+                    Some(g) => Kernel::Rbf { gamma: g },
+                    None => intra_rbf(&group_clouds, scaler.dim()),
+                };
+                // The pooled gate is user-agnostic; owner is unused.
+                vec![(
+                    OneClassSvm::train(&scaled, kernel, config.nu),
+                    0.0,
+                    usize::MAX,
+                )]
+            }
+        };
+
+        let (classifier, single_user) = if users.len() == 1 {
+            (None, Some(users[0].0))
+        } else {
+            let kernel = match config.gamma {
+                Some(g) => Kernel::Rbf { gamma: g },
+                None => intra_rbf(&user_clouds, scaler.dim()),
+            };
+            (
+                Some(SvmMulticlass::train(&scaled, &labels, kernel, config.c)),
+                None,
+            )
+        };
+        Ok(Authenticator {
+            scaler,
+            gates,
+            classifier,
+            single_user,
+        })
+    }
+
+    /// Authenticates one feature vector (Fig. 10's cascade).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimensionality.
+    pub fn authenticate(&self, features: &[f64]) -> AuthDecision {
+        let x = self.scaler.transform(features);
+        let fired: Vec<usize> = self
+            .gates
+            .iter()
+            .filter(|(g, threshold, _)| g.decision(&x) >= *threshold)
+            .map(|(_, _, owner)| *owner)
+            .collect();
+        if fired.is_empty() {
+            return AuthDecision::Rejected;
+        }
+        match (&self.classifier, self.single_user) {
+            (Some(svm), _) => {
+                let user_id = svm.predict(&x);
+                // Consistency check: the n-class SVM's attribution must
+                // agree with (one of) the fired domain(s). A sample that
+                // looks like user A's domain but classifies as user B is
+                // contradictory — reject it as a spoofer. (The pooled
+                // gate is user-agnostic and always agrees.)
+                if fired.contains(&user_id) || fired.contains(&usize::MAX) {
+                    AuthDecision::Accepted { user_id }
+                } else {
+                    AuthDecision::Rejected
+                }
+            }
+            (None, Some(id)) => AuthDecision::Accepted { user_id: id },
+            (None, None) => unreachable!("enroll guarantees one of the two"),
+        }
+    }
+
+    /// The best (maximum) spoofer-gate decision value across gates
+    /// (≥ 0 passes), for threshold diagnostics.
+    pub fn gate_decision(&self, features: &[f64]) -> f64 {
+        let x = self.scaler.transform(features);
+        self.gates
+            .iter()
+            .map(|(g, threshold, _)| g.decision(&x) - threshold)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Registered user ids.
+    pub fn user_ids(&self) -> Vec<usize> {
+        match (&self.classifier, self.single_user) {
+            (Some(svm), _) => svm.classes().to_vec(),
+            (None, Some(id)) => vec![id],
+            (None, None) => unreachable!("enroll guarantees one of the two"),
+        }
+    }
+}
+
+/// Kernel-width safety margin: authentication-time samples sit a little
+/// farther from the enrolment cloud than enrolment samples sit from each
+/// other (fresh noise, fresh distance estimate, session drift), so the
+/// acceptance region is widened by this factor over the raw intra-user
+/// median distance.
+const GAMMA_WIDENING: f64 = 2.0;
+
+/// RBF kernel with `γ = 1/(GAMMA_WIDENING·median(‖xᵢ−xⱼ‖²))` over
+/// within-group sample pairs, falling back to the 1/dim heuristic when
+/// no group has two samples.
+fn intra_rbf(groups: &[Vec<Vec<f64>>], dim: usize) -> Kernel {
+    let mut d2: Vec<f64> = Vec::new();
+    for cloud in groups {
+        let n = cloud.len();
+        // Subsample pairs per group to bound the cost.
+        let stride = ((n * (n - 1) / 2) / 500).max(1);
+        let mut count = 0usize;
+        for i in 0..n {
+            for j in i + 1..n {
+                if count % stride == 0 {
+                    d2.push(
+                        cloud[i]
+                            .iter()
+                            .zip(&cloud[j])
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum(),
+                    );
+                }
+                count += 1;
+            }
+        }
+    }
+    if d2.is_empty() {
+        return Kernel::rbf_for_dim(dim);
+    }
+    d2.sort_by(f64::total_cmp);
+    let median = d2[d2.len() / 2];
+    Kernel::Rbf {
+        gamma: if median > 1e-12 {
+            1.0 / (GAMMA_WIDENING * median)
+        } else {
+            1.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(cx: f64, cy: f64, n: usize, salt: u64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(salt);
+                let a = ((h & 0xFFFF) as f64 / 65536.0 - 0.5) * 0.4;
+                let b = (((h >> 16) & 0xFFFF) as f64 / 65536.0 - 0.5) * 0.4;
+                vec![cx + a, cy + b]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_user_flow_accepts_and_attributes() {
+        let auth = Authenticator::enroll(
+            &[
+                (1, cluster(0.0, 0.0, 40, 1)),
+                (2, cluster(3.0, 0.0, 40, 2)),
+                (3, cluster(0.0, 3.0, 40, 3)),
+            ],
+            &AuthConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(auth.user_ids(), vec![1, 2, 3]);
+        assert_eq!(auth.authenticate(&[0.05, -0.05]).user_id(), Some(1));
+        assert_eq!(auth.authenticate(&[3.02, 0.1]).user_id(), Some(2));
+        assert_eq!(auth.authenticate(&[0.0, 2.95]).user_id(), Some(3));
+    }
+
+    #[test]
+    fn spoofers_are_gated_before_classification() {
+        for gate in [GateMode::PerUser, GateMode::Pooled] {
+            let auth = Authenticator::enroll(
+                &[(1, cluster(0.0, 0.0, 40, 4)), (2, cluster(3.0, 0.0, 40, 5))],
+                &AuthConfig {
+                    gate,
+                    ..AuthConfig::default()
+                },
+            )
+            .unwrap();
+            // A point far from every enrolled cluster must be rejected,
+            // even though the n-class SVM would happily label it.
+            assert_eq!(auth.authenticate(&[20.0, 20.0]), AuthDecision::Rejected);
+            assert_eq!(auth.authenticate(&[-15.0, 2.0]), AuthDecision::Rejected);
+        }
+    }
+
+    #[test]
+    fn midpoint_between_users_is_rejected_by_per_user_gate() {
+        let auth = Authenticator::enroll(
+            &[(1, cluster(0.0, 0.0, 40, 6)), (2, cluster(4.0, 0.0, 40, 7))],
+            &AuthConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(auth.authenticate(&[2.0, 0.0]), AuthDecision::Rejected);
+    }
+
+    #[test]
+    fn single_user_scenario_uses_gate_only() {
+        let auth = Authenticator::enroll(&[(7, cluster(1.0, 1.0, 50, 6))], &AuthConfig::default())
+            .unwrap();
+        assert_eq!(auth.user_ids(), vec![7]);
+        assert_eq!(auth.authenticate(&[1.0, 1.05]).user_id(), Some(7));
+        assert!(!auth.authenticate(&[8.0, -3.0]).is_accepted());
+    }
+
+    #[test]
+    fn gate_decision_is_monotone_in_distance() {
+        let auth = Authenticator::enroll(&[(1, cluster(0.0, 0.0, 50, 7))], &AuthConfig::default())
+            .unwrap();
+        // Stay within a few standard deviations: the RBF kernel saturates
+        // to a constant −ρ far from the data.
+        let near = auth.gate_decision(&[0.0, 0.1]);
+        let mid = auth.gate_decision(&[0.4, 0.0]);
+        let far = auth.gate_decision(&[0.9, 0.0]);
+        assert!(near > mid, "{near} vs {mid}");
+        assert!(mid > far, "{mid} vs {far}");
+    }
+
+    #[test]
+    fn decision_accessors() {
+        let acc = AuthDecision::Accepted { user_id: 4 };
+        assert!(acc.is_accepted());
+        assert_eq!(acc.user_id(), Some(4));
+        assert!(!AuthDecision::Rejected.is_accepted());
+        assert_eq!(AuthDecision::Rejected.user_id(), None);
+    }
+
+    #[test]
+    fn explicit_gamma_is_respected() {
+        let cfg = AuthConfig {
+            gamma: Some(0.5),
+            ..AuthConfig::default()
+        };
+        let train = cluster(0.0, 0.0, 20, 9);
+        let auth = Authenticator::enroll(&[(1, train.clone())], &cfg).unwrap();
+        // ν bounds training rejections: the bulk of the training points
+        // must be accepted by the gate they defined.
+        let accepted = train
+            .iter()
+            .filter(|x| auth.authenticate(x).is_accepted())
+            .count();
+        assert!(
+            accepted * 2 > train.len(),
+            "{accepted}/{} accepted",
+            train.len()
+        );
+    }
+
+    #[test]
+    fn enrol_rejects_bad_input() {
+        assert!(Authenticator::enroll(&[], &AuthConfig::default()).is_err());
+        assert!(Authenticator::enroll(&[(1, vec![])], &AuthConfig::default()).is_err());
+        assert!(Authenticator::enroll(
+            &[(1, cluster(0.0, 0.0, 5, 8)), (1, cluster(1.0, 1.0, 5, 9))],
+            &AuthConfig::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! User–array distance estimation (paper §V-B).
+//!
+//! The estimator steers an MVDR beam at an arbitrary patch of the user's
+//! upper body (θ = π/2, φ ∈ [π/3, 2π/3]), matched-filters the beamformed
+//! signal against the transmitted chirp (Eq. 9), accumulates the squared
+//! correlation envelopes over L beeps (Eq. 10), and reads the geometry
+//! off the peaks: the first peak τ₁ is the direct speaker→mic chirp, the
+//! strongest peak in the echo period is the body echo τ_w′, and the
+//! slant distance is `D_f = τ·c/2`, projected to the horizontal
+//! user–array distance `D_p = D_f·sin φ·sin θ`.
+//!
+//! One refinement over the paper's description: echo delays are measured
+//! *relative to the direct-path peak* and corrected by the known
+//! speaker→mic path length. Both peaks pass through the same band-pass
+//! filter, so its group delay cancels — absolute peak positions would be
+//! biased by it.
+
+use crate::config::{DistanceConfig, PipelineConfig};
+use crate::error::EchoImageError;
+use echo_array::{Direction, MicArray};
+use echo_beamform::{apply_weights, mvdr_weights, SpatialCovariance};
+use echo_dsp::correlate::matched_filter_complex;
+use echo_dsp::hilbert::{analytic_signal, moving_average};
+use echo_dsp::peaks::{find_peaks, strongest_peak_in, Peak};
+use echo_dsp::{Complex, SPEED_OF_SOUND};
+use echo_sim::BeepCapture;
+
+/// The result of distance estimation.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DistanceEstimate {
+    /// Slant distance `D_f` from the array to the steered body patch,
+    /// metres.
+    pub slant_distance: f64,
+    /// Horizontal user–array distance `D_p = D_f·sinφ·sinθ`, metres.
+    pub horizontal_distance: f64,
+    /// Sample index of the direct-path peak τ₁ in the accumulated
+    /// envelope.
+    pub direct_peak: usize,
+    /// Sample index of the detected body-echo peak τ_w′.
+    pub echo_peak: usize,
+    /// The accumulated envelope `E(t)` (Eq. 10), for diagnostics and the
+    /// paper's Fig. 5.
+    pub envelope: Vec<f64>,
+    /// All detected peaks (the paper's `MaxSet`).
+    pub peaks: Vec<Peak>,
+}
+
+/// Estimates the user–array distance from `L` band-passed beep captures.
+///
+/// `array` must describe the geometry the captures were recorded with.
+///
+/// # Errors
+///
+/// * [`EchoImageError::NoCaptures`] — `captures` is empty.
+/// * [`EchoImageError::InconsistentCaptures`] — captures disagree in shape.
+/// * [`EchoImageError::DirectPathNotFound`] — no peak qualifies as the
+///   direct chirp.
+/// * [`EchoImageError::EchoNotFound`] — the echo period contains no peak.
+/// * [`EchoImageError::Beamforming`] — MVDR weight design failed.
+pub fn estimate_distance(
+    captures: &[BeepCapture],
+    array: &MicArray,
+    config: &PipelineConfig,
+) -> Result<DistanceEstimate, EchoImageError> {
+    let first = captures.first().ok_or(EchoImageError::NoCaptures)?;
+    let fs = first.sample_rate();
+    let n = first.len();
+    let m = first.num_channels();
+    if captures
+        .iter()
+        .any(|c| c.len() != n || c.num_channels() != m || c.sample_rate() != fs)
+    {
+        return Err(EchoImageError::InconsistentCaptures);
+    }
+    if m != array.len() {
+        return Err(EchoImageError::InvalidParameter(
+            "array geometry does not match the capture channel count",
+        ));
+    }
+
+    let dcfg = &config.distance;
+    let look = Direction::new(dcfg.azimuth, dcfg.elevation);
+    let f0 = config.beep.center_frequency();
+    let steering = array.steering_vector(look, f0);
+
+    // Analytic chirp template for the matched filter.
+    let chirp = config.beep.chirp().samples();
+    let chirp_analytic = analytic_signal(&chirp);
+
+    // One noise covariance for the whole train: pooling every beep's
+    // preroll gives a far stabler estimate than any single 10 ms window,
+    // and the paper's ρ_n is likewise a single background-noise
+    // statistic, not a per-beep one.
+    let cov = resolve_covariance(captures, array, config);
+    let weights = mvdr_weights(&cov, &steering)?;
+
+    // Accumulate E(t) = (1/L) Σ |E_l(t)|² (Eq. 10).
+    let mut accumulated = vec![0.0f64; n];
+    for capture in captures {
+        let analytic: Vec<Vec<Complex>> = (0..m)
+            .map(|ch| analytic_signal(capture.channel(ch)))
+            .collect();
+        let beamformed = apply_weights(&analytic, &weights);
+        // |C_l(t)| of the analytic correlation *is* the envelope E_l(t).
+        let correlation = matched_filter_complex(&beamformed, &chirp_analytic);
+        for (acc, c) in accumulated.iter_mut().zip(correlation.iter()) {
+            *acc += c.norm_sqr();
+        }
+    }
+    let l = captures.len() as f64;
+    for v in &mut accumulated {
+        *v /= l;
+    }
+
+    locate_peaks(&accumulated, fs, first.preroll(), dcfg, config)
+}
+
+/// Produces the MVDR noise covariance according to the configured
+/// [`crate::config::CovarianceMode`].
+pub fn resolve_covariance(
+    captures: &[BeepCapture],
+    array: &MicArray,
+    config: &PipelineConfig,
+) -> SpatialCovariance {
+    use crate::config::CovarianceMode;
+    match config.covariance {
+        CovarianceMode::Isotropic => SpatialCovariance::isotropic(
+            array,
+            config.beep.center_frequency(),
+            SPEED_OF_SOUND,
+            ROBUST_LOADING,
+        ),
+        CovarianceMode::Measured => noise_covariance(captures),
+        CovarianceMode::Identity => SpatialCovariance::identity(array.len()),
+    }
+}
+
+/// Pools the (clean first half of the) noise-only prerolls of every
+/// capture into one spatial covariance estimate.
+///
+/// Only the first half of each preroll is used: zero-phase band-passing
+/// smears the strong direct chirp a little way backwards in time, and a
+/// signal-contaminated covariance would make MVDR cancel the very echoes
+/// being ranged (signal self-cancellation).
+pub fn noise_covariance(captures: &[BeepCapture]) -> SpatialCovariance {
+    let m = captures.first().map_or(1, |c| c.num_channels());
+    let mut pooled: Vec<Vec<Complex>> = vec![Vec::new(); m];
+    for capture in captures {
+        let clean = capture.preroll() / 2;
+        if clean < 32 {
+            continue;
+        }
+        for (ch, pool) in pooled.iter_mut().enumerate() {
+            let analytic = analytic_signal(&capture.channel(ch)[..capture.preroll()]);
+            pool.extend_from_slice(&analytic[..clean]);
+        }
+    }
+    if pooled[0].len() < 32 {
+        SpatialCovariance::identity(m)
+    } else {
+        // Robust-MVDR loading: in-band diffuse noise on a small aperture
+        // yields a near-singular coherence matrix whose inverse is
+        // superdirective — sharp accidental nulls right next to the look
+        // direction. Heavy diagonal loading trades a little noise
+        // suppression for a well-behaved beam.
+        SpatialCovariance::from_snapshots(&pooled, ROBUST_LOADING)
+    }
+}
+
+/// Diagonal loading used for the pooled noise covariance (robust MVDR).
+pub const ROBUST_LOADING: f64 = 0.05;
+
+/// Peak logic shared with diagnostics: finds τ₁ and τ_w′ in an envelope
+/// and converts to distances.
+fn locate_peaks(
+    envelope: &[f64],
+    fs: f64,
+    preroll: usize,
+    dcfg: &DistanceConfig,
+    config: &PipelineConfig,
+) -> Result<DistanceEstimate, EchoImageError> {
+    let max = envelope.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return Err(EchoImageError::DirectPathNotFound);
+    }
+    let peaks = find_peaks(
+        envelope,
+        dcfg.peak_distance,
+        dcfg.peak_threshold_ratio * max,
+    );
+    // τ₁: the chirp travelling directly from the speaker to the
+    // microphones. The device knows when it emitted the beep (the end of
+    // the preroll) and its own speaker→mic geometry, so the direct peak
+    // is the strongest peak within a couple of milliseconds of the
+    // expected arrival — not blindly the first peak anywhere, which a
+    // noise ripple could claim once MVDR has suppressed the (off-look)
+    // direct path.
+    let expect = preroll + (dcfg.direct_path_length / SPEED_OF_SOUND * fs) as usize;
+    let lo = expect.saturating_sub((0.001 * fs) as usize);
+    let hi = (expect + (0.002 * fs) as usize).min(envelope.len());
+    let direct = strongest_peak_in(&peaks, lo, hi).ok_or(EchoImageError::DirectPathNotFound)?;
+
+    let chirp_period = (dcfg.chirp_period * fs).round() as usize;
+    let echo_period = (dcfg.echo_period * fs).round() as usize;
+    let echo_start = direct.index + chirp_period;
+    let echo_end = (echo_start + echo_period).min(envelope.len());
+    if echo_start >= echo_end {
+        return Err(EchoImageError::EchoNotFound);
+    }
+    // Guard against degenerate windows, then locate the body echo as the
+    // leading edge of the strongest smoothed lobe: lobe maxima wander
+    // with coherent speckle, leading edges do not.
+    let smooth_w = ((dcfg.envelope_smoothing * fs).round() as usize).max(1);
+    let smoothed = moving_average(envelope, smooth_w);
+    let window = &smoothed[echo_start..echo_end];
+    // The window opens on the decaying skirt of the direct chirp. Walk
+    // down that initial decay first; the echo lobe must rise after it
+    // (an empty room never rises above the noise floor again).
+    let mut skirt_end = 0usize;
+    while skirt_end + 1 < window.len() && window[skirt_end + 1] <= window[skirt_end] {
+        skirt_end += 1;
+    }
+    if skirt_end + 1 >= window.len() {
+        return Err(EchoImageError::EchoNotFound);
+    }
+    let (lobe_off, &lobe_max) = window[skirt_end..]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, v)| (i + skirt_end, v))
+        .expect("window checked non-empty");
+    // Echo validity: the lobe must clear both the relative threshold and
+    // the matched-filter noise floor measured on the (signal-free) early
+    // preroll — otherwise an empty room would "range" its own noise.
+    let clean_preroll = preroll.saturating_sub(2 * chirp_period);
+    let preroll_floor = if clean_preroll > 16 {
+        smoothed[..clean_preroll]
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max)
+    } else {
+        0.0
+    };
+    let noise_floor = (dcfg.peak_threshold_ratio * max).max(4.0 * preroll_floor);
+    if lobe_max <= noise_floor {
+        return Err(EchoImageError::EchoNotFound);
+    }
+    let threshold = dcfg.echo_onset_fraction * lobe_max;
+    let mut edge = lobe_off;
+    while edge > skirt_end && window[edge - 1] >= threshold {
+        edge -= 1;
+    }
+    // The echo time is the midpoint between the lobe's leading edge and
+    // its maximum: the edge alone fires early by the smoothing width,
+    // the max alone wanders with speckle; their midpoint is both stable
+    // and centred on the echo onset.
+    let echo_idx = echo_start + (edge + lobe_off) / 2;
+    let echo = Peak {
+        index: echo_idx,
+        value: envelope[echo_idx],
+    };
+    // Keep the strongest raw peak available for diagnostics (Fig. 5).
+    let _ = strongest_peak_in(&peaks, echo_start, echo_end);
+
+    // Delay relative to the direct peak, plus the known speaker→mic path,
+    // is the round-trip time to the dominant body patch.
+    let round_trip =
+        (echo.index - direct.index) as f64 / fs + dcfg.direct_path_length / SPEED_OF_SOUND;
+    let slant = round_trip * SPEED_OF_SOUND / 2.0;
+    // Project D_f to the horizontal distance D_p = D_f·sinφ·sinθ with the
+    // φ of the *echoing patch*: the chest sits `echo_height_offset` above
+    // the array and its bulge brings the onset `surface_onset_correction`
+    // closer, so sinφ = √(1 − (Δz/D)²) with D the corrected slant.
+    let corrected = slant + dcfg.surface_onset_correction;
+    let dz = dcfg.echo_height_offset;
+    let sin_phi = if corrected > dz {
+        (1.0 - (dz / corrected) * (dz / corrected)).sqrt()
+    } else {
+        dcfg.elevation.sin()
+    };
+    let horizontal = corrected * sin_phi * dcfg.azimuth.sin();
+    let _ = config;
+    let _ = slant;
+
+    Ok(DistanceEstimate {
+        // Report the onset-corrected slant (the physical distance to the
+        // echoing patch), so D_f ≥ D_p as in the paper's geometry.
+        slant_distance: corrected,
+        horizontal_distance: horizontal,
+        direct_peak: direct.index,
+        echo_peak: echo.index,
+        envelope: envelope.to_vec(),
+        peaks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::EchoImagePipeline;
+    use echo_sim::{BodyModel, Placement, Scene, SceneConfig};
+
+    fn estimate_at(distance: f64, beeps: usize) -> DistanceEstimate {
+        let scene = Scene::new(SceneConfig::laboratory_quiet(21));
+        let body = BodyModel::from_seed(77);
+        let captures =
+            scene.capture_train(&body, &Placement::standing_front(distance), 0, beeps, 0);
+        let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+        let filtered: Vec<BeepCapture> = captures.iter().map(|c| pipeline.preprocess(c)).collect();
+        estimate_distance(&filtered, &MicArray::respeaker_6(), pipeline.config()).unwrap()
+    }
+
+    #[test]
+    fn feasibility_study_geometry() {
+        // Paper §V-B feasibility: user at 0.6 m, θ = π/2, φ = π/3 gives
+        // D_f ≈ 0.68 m and D_p ≈ 0.58–0.6 m.
+        let est = estimate_at(0.6, 10);
+        assert!(
+            (est.horizontal_distance - 0.6).abs() < 0.12,
+            "D_p = {}",
+            est.horizontal_distance
+        );
+        assert!(
+            est.slant_distance + 0.1 > est.horizontal_distance,
+            "horizontal projection cannot exceed the onset-corrected slant"
+        );
+    }
+
+    #[test]
+    fn estimates_track_true_distance() {
+        for d in [0.7, 1.0, 1.3] {
+            let est = estimate_at(d, 8);
+            assert!(
+                (est.horizontal_distance - d).abs() < 0.18,
+                "true {d}, got {}",
+                est.horizontal_distance
+            );
+        }
+    }
+
+    #[test]
+    fn direct_peak_precedes_echo_peak() {
+        let est = estimate_at(0.7, 4);
+        assert!(est.direct_peak < est.echo_peak);
+        // Direct peak sits near the preroll boundary (480 samples).
+        assert!((est.direct_peak as i64 - 480).unsigned_abs() < 60);
+    }
+
+    #[test]
+    fn more_beeps_stabilise_the_estimate() {
+        // Eq. 10's averaging: estimates from many beeps vary less.
+        let spread = |l: usize| {
+            let scene = Scene::new(SceneConfig::laboratory_quiet(33));
+            let body = BodyModel::from_seed(55);
+            let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+            let mut estimates = Vec::new();
+            for trial in 0..5 {
+                let captures = scene.capture_train(
+                    &body,
+                    &Placement::standing_front(0.8),
+                    0,
+                    l,
+                    (trial * 100) as u64,
+                );
+                let filtered: Vec<BeepCapture> =
+                    captures.iter().map(|c| pipeline.preprocess(c)).collect();
+                let est = estimate_distance(&filtered, &MicArray::respeaker_6(), pipeline.config())
+                    .unwrap();
+                estimates.push(est.horizontal_distance);
+            }
+            let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+            estimates
+                .iter()
+                .map(|e| (e - mean).abs())
+                .fold(0.0f64, f64::max)
+        };
+        // Averaging over more beeps must not hurt; it usually helps.
+        assert!(spread(6) <= spread(1) + 0.02);
+    }
+
+    #[test]
+    fn empty_captures_error() {
+        let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+        let err = estimate_distance(&[], &MicArray::respeaker_6(), pipeline.config()).unwrap_err();
+        assert_eq!(err, EchoImageError::NoCaptures);
+    }
+
+    #[test]
+    fn inconsistent_captures_error() {
+        let scene = Scene::new(SceneConfig::laboratory_quiet(1));
+        let body = BodyModel::from_seed(1);
+        let a = scene.capture_beep(&body, &Placement::standing_front(0.7), 0, 0);
+        let b = a.map_channels(|c| c.to_vec());
+        // Truncate one capture to a different length.
+        let short = BeepCapture::new(
+            b.channels()
+                .iter()
+                .map(|c| c[..c.len() - 10].to_vec())
+                .collect(),
+            b.sample_rate(),
+            b.preroll(),
+        );
+        let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+        let err = estimate_distance(&[a, short], &MicArray::respeaker_6(), pipeline.config())
+            .unwrap_err();
+        assert_eq!(err, EchoImageError::InconsistentCaptures);
+    }
+
+    #[test]
+    fn silence_reports_missing_direct_path() {
+        let silent = BeepCapture::new(vec![vec![0.0; 4_000]; 6], 48_000.0, 480);
+        let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+        let err =
+            estimate_distance(&[silent], &MicArray::respeaker_6(), pipeline.config()).unwrap_err();
+        assert_eq!(err, EchoImageError::DirectPathNotFound);
+    }
+
+    #[test]
+    fn wrong_array_geometry_is_rejected() {
+        let scene = Scene::new(SceneConfig::laboratory_quiet(1));
+        let body = BodyModel::from_seed(1);
+        let cap = scene.capture_beep(&body, &Placement::standing_front(0.7), 0, 0);
+        let wrong = MicArray::linear(4, 0.04);
+        let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+        let err = estimate_distance(&[cap], &wrong, pipeline.config()).unwrap_err();
+        assert!(matches!(err, EchoImageError::InvalidParameter(_)));
+    }
+}

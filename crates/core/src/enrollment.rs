@@ -1,0 +1,192 @@
+//! The production enrolment recipe.
+//!
+//! Registering a user is more than running captures through
+//! [`crate::pipeline::EchoImagePipeline::features_from_train`]: to
+//! survive day-to-day drift and distance-estimate jitter, the enrolment
+//! cloud must *span* the variation authentication-time probes will
+//! carry. The recipe, validated by the evaluation suite:
+//!
+//! 1. **Multiple visits** — capture several independent beep batches
+//!    (fresh stance, fresh noise, fresh distance estimate). The paper's
+//!    own Session 1 spans days 0–2.
+//! 2. **Plane diversity** — re-image each batch at slightly perturbed
+//!    plane distances, covering the test-time ranging jitter.
+//! 3. **§V-F augmentation** — synthesise inverse-square copies around
+//!    the estimated distance.
+
+use crate::augment::augment_sweep;
+use crate::error::EchoImageError;
+use crate::pipeline::EchoImagePipeline;
+use echo_sim::BeepCapture;
+
+/// Tunables of the enrolment recipe.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EnrollmentConfig {
+    /// Plane-distance offsets for re-imaging each capture, metres.
+    pub plane_offsets: Vec<f64>,
+    /// Distance offsets for inverse-square synthesis, metres.
+    pub augment_offsets: Vec<f64>,
+}
+
+impl Default for EnrollmentConfig {
+    fn default() -> Self {
+        EnrollmentConfig {
+            plane_offsets: vec![-0.03, 0.03],
+            augment_offsets: vec![-0.05, 0.05],
+        }
+    }
+}
+
+/// Turns one user's enrolment visits into the feature cloud to hand to
+/// [`crate::auth::Authenticator::enroll`].
+///
+/// `visits` holds one beep train per registration visit; each visit is
+/// ranged and imaged independently.
+///
+/// # Errors
+///
+/// Propagates pipeline failures — enrolment happens under controlled
+/// conditions, so a failed visit is a real error the caller should
+/// surface (and re-capture).
+///
+/// # Example
+///
+/// ```
+/// use echo_sim::{BodyModel, Placement, Scene, SceneConfig};
+/// use echoimage_core::enrollment::{enrollment_features, EnrollmentConfig};
+/// use echoimage_core::pipeline::{EchoImagePipeline, PipelineConfig};
+///
+/// let scene = Scene::new(SceneConfig::laboratory_quiet(5));
+/// let user = BodyModel::from_seed(8);
+/// let placement = Placement::standing_front(0.7);
+/// let visits: Vec<_> = (0..2u32)
+///     .map(|v| scene.capture_train(&user, &placement, v, 3, v as u64 * 100))
+///     .collect();
+///
+/// let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+/// let features =
+///     enrollment_features(&pipeline, &visits, &EnrollmentConfig::default()).unwrap();
+/// // 2 visits × 3 beeps × (1 + 2 planes) images, plus 2 augmented
+/// // copies per image.
+/// assert_eq!(features.len(), 2 * 3 * 3 * (1 + 2));
+/// ```
+pub fn enrollment_features(
+    pipeline: &EchoImagePipeline,
+    visits: &[Vec<BeepCapture>],
+    config: &EnrollmentConfig,
+) -> Result<Vec<Vec<f64>>, EchoImageError> {
+    if visits.is_empty() || visits.iter().any(|v| v.is_empty()) {
+        return Err(EchoImageError::NoCaptures);
+    }
+    let imaging = &pipeline.config().imaging;
+    let mut features = Vec::new();
+    for visit in visits {
+        let (images, est) = pipeline.images_from_train_multi_plane(visit, &config.plane_offsets)?;
+        for img in &images {
+            features.push(pipeline.features(img));
+            if !config.augment_offsets.is_empty() {
+                let targets: Vec<f64> = config
+                    .augment_offsets
+                    .iter()
+                    .map(|o| (est.horizontal_distance + o).max(0.2))
+                    .collect();
+                let synth = augment_sweep(img, imaging, est.horizontal_distance, &targets)?;
+                features.extend(synth.iter().map(|s| pipeline.features(s)));
+            }
+        }
+    }
+    Ok(features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::{AuthConfig, Authenticator};
+    use crate::config::{ImagingConfig, PipelineConfig};
+    use echo_sim::{BodyModel, Placement, Scene, SceneConfig};
+
+    fn small_pipeline() -> EchoImagePipeline {
+        let mut cfg = PipelineConfig::default();
+        cfg.imaging = ImagingConfig {
+            grid_n: 16,
+            grid_spacing: 0.1,
+            ..ImagingConfig::default()
+        };
+        EchoImagePipeline::new(cfg)
+    }
+
+    fn visits(
+        scene: &Scene,
+        body: &BodyModel,
+        count: u32,
+        beeps: usize,
+    ) -> Vec<Vec<echo_sim::BeepCapture>> {
+        let placement = Placement::standing_front(0.7);
+        (0..count)
+            .map(|v| scene.capture_train(body, &placement, v, beeps, v as u64 * 500))
+            .collect()
+    }
+
+    #[test]
+    fn feature_counts_match_recipe() {
+        let scene = Scene::new(SceneConfig::laboratory_quiet(9));
+        let body = BodyModel::from_seed(3);
+        let p = small_pipeline();
+        let v = visits(&scene, &body, 2, 2);
+        let cfg = EnrollmentConfig::default();
+        let f = enrollment_features(&p, &v, &cfg).unwrap();
+        // 2 visits × 2 beeps × 3 planes × (1 base + 2 augmented).
+        assert_eq!(f.len(), 2 * 2 * 3 * 3);
+    }
+
+    #[test]
+    fn recipe_enrolment_accepts_fresh_visits() {
+        let scene = Scene::new(SceneConfig::laboratory_quiet(9));
+        let body = BodyModel::from_seed(4);
+        let p = small_pipeline();
+        let v = visits(&scene, &body, 3, 3);
+        let features = enrollment_features(&p, &v, &EnrollmentConfig::default()).unwrap();
+        let auth = Authenticator::enroll(&[(1, features)], &AuthConfig::default()).unwrap();
+
+        let fresh = scene.capture_train(&body, &Placement::standing_front(0.7), 8, 3, 77_000);
+        let probes = p.features_from_train(&fresh).unwrap();
+        let accepted = probes
+            .iter()
+            .filter(|f| auth.authenticate(f).is_accepted())
+            .count();
+        assert!(accepted > 0, "no fresh probe accepted");
+    }
+
+    #[test]
+    fn disabling_augmentation_shrinks_the_cloud() {
+        let scene = Scene::new(SceneConfig::laboratory_quiet(9));
+        let body = BodyModel::from_seed(5);
+        let p = small_pipeline();
+        let v = visits(&scene, &body, 1, 2);
+        let with = enrollment_features(&p, &v, &EnrollmentConfig::default()).unwrap();
+        let without = enrollment_features(
+            &p,
+            &v,
+            &EnrollmentConfig {
+                augment_offsets: vec![],
+                ..EnrollmentConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn empty_visits_error() {
+        let p = small_pipeline();
+        assert!(matches!(
+            enrollment_features(&p, &[], &EnrollmentConfig::default()),
+            Err(EchoImageError::NoCaptures)
+        ));
+        assert!(matches!(
+            enrollment_features(&p, &[vec![]], &EnrollmentConfig::default()),
+            Err(EchoImageError::NoCaptures)
+        ));
+    }
+}

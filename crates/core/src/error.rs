@@ -1,0 +1,65 @@
+//! Error type for the EchoImage pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the EchoImage pipeline stages.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EchoImageError {
+    /// No beep captures were provided.
+    NoCaptures,
+    /// The direct speaker→microphone chirp could not be located in the
+    /// correlation envelope.
+    DirectPathNotFound,
+    /// No echo peak was found inside the echo period.
+    EchoNotFound,
+    /// A beamforming operation failed (singular covariance etc.).
+    Beamforming(echo_beamform::BeamformError),
+    /// Captures disagree in shape (channel count, length or sample rate).
+    InconsistentCaptures,
+    /// A parameter was out of its valid range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for EchoImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EchoImageError::NoCaptures => write!(f, "no beep captures were provided"),
+            EchoImageError::DirectPathNotFound => {
+                write!(
+                    f,
+                    "direct speaker-to-microphone chirp not found in the envelope"
+                )
+            }
+            EchoImageError::EchoNotFound => {
+                write!(f, "no body echo detected in the echo period")
+            }
+            EchoImageError::Beamforming(e) => write!(f, "beamforming failed: {e}"),
+            EchoImageError::InconsistentCaptures => {
+                write!(
+                    f,
+                    "beep captures disagree in channel count, length or sample rate"
+                )
+            }
+            EchoImageError::InvalidParameter(what) => {
+                write!(f, "invalid parameter: {what}")
+            }
+        }
+    }
+}
+
+impl Error for EchoImageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EchoImageError::Beamforming(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<echo_beamform::BeamformError> for EchoImageError {
+    fn from(e: echo_beamform::BeamformError) -> Self {
+        EchoImageError::Beamforming(e)
+    }
+}

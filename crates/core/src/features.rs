@@ -1,0 +1,114 @@
+//! Feature extraction from acoustic images (paper §V-D).
+//!
+//! The paper resizes each acoustic image to the VGGish input, runs the
+//! frozen network and taps the 5th pooling layer as the feature vector.
+//! This module wraps the reproduction's frozen CNN
+//! ([`echo_ml::FeatureExtractor`], see DESIGN.md §1 for the
+//! transfer-learning substitution) behind the same interface.
+
+use echo_ml::{FeatureExtractor, GrayImage};
+
+/// Extracts fixed-length embeddings from acoustic images.
+///
+/// # Example
+///
+/// ```
+/// use echoimage_core::features::ImageFeatures;
+/// use echo_ml::GrayImage;
+///
+/// let fx = ImageFeatures::new();
+/// let img = GrayImage::from_fn(32, 32, |x, y| (x * y) as f64);
+/// let f = fx.extract(&img);
+/// assert_eq!(f.len(), fx.feature_len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageFeatures {
+    extractor: FeatureExtractor,
+}
+
+impl ImageFeatures {
+    /// The default frozen extractor (deterministic weights).
+    pub fn new() -> Self {
+        ImageFeatures {
+            extractor: FeatureExtractor::paper_default(),
+        }
+    }
+
+    /// Uses a custom extractor (e.g. a different seed or architecture
+    /// for ablations).
+    pub fn with_extractor(extractor: FeatureExtractor) -> Self {
+        ImageFeatures { extractor }
+    }
+
+    /// Length of the extracted feature vector.
+    pub fn feature_len(&self) -> usize {
+        self.extractor.feature_len()
+    }
+
+    /// Extracts the embedding for one acoustic image.
+    pub fn extract(&self, image: &GrayImage) -> Vec<f64> {
+        self.extractor.extract(image)
+    }
+
+    /// Extracts embeddings for a batch of images.
+    pub fn extract_batch(&self, images: &[GrayImage]) -> Vec<Vec<f64>> {
+        images.iter().map(|i| self.extract(i)).collect()
+    }
+
+    /// Ablation baseline: the raw image, resized to the CNN input and
+    /// flattened, without any convolutional mapping.
+    pub fn raw_pixels(&self, image: &GrayImage) -> Vec<f64> {
+        let size = self.extractor.input_size();
+        let mut r = image.resize(size, size);
+        r.normalize();
+        r.pixels().to_vec()
+    }
+}
+
+impl Default for ImageFeatures {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let fx = ImageFeatures::new();
+        let img = GrayImage::from_fn(40, 40, |x, y| ((x + 2 * y) % 5) as f64);
+        assert_eq!(fx.extract(&img), fx.extract(&img));
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let fx = ImageFeatures::new();
+        let imgs = vec![
+            GrayImage::from_fn(32, 32, |x, _| x as f64),
+            GrayImage::from_fn(32, 32, |_, y| y as f64),
+        ];
+        let batch = fx.extract_batch(&imgs);
+        assert_eq!(batch[0], fx.extract(&imgs[0]));
+        assert_eq!(batch[1], fx.extract(&imgs[1]));
+    }
+
+    #[test]
+    fn raw_pixel_baseline_has_input_size_squared_length() {
+        let fx = ImageFeatures::new();
+        let img = GrayImage::from_fn(64, 64, |x, y| (x * y) as f64);
+        let raw = fx.raw_pixels(&img);
+        let s = 32; // paper_default input size
+        assert_eq!(raw.len(), s * s);
+        assert!(raw.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn different_images_give_different_features() {
+        let fx = ImageFeatures::new();
+        let a = fx.extract(&GrayImage::from_fn(32, 32, |x, _| x as f64));
+        let b = fx.extract(&GrayImage::from_fn(32, 32, |_, y| y as f64));
+        assert_ne!(a, b);
+    }
+}

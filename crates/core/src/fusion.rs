@@ -1,0 +1,256 @@
+//! Decision fusion over a beep stream.
+//!
+//! One beep = one acoustic image = one [`AuthDecision`]. A deployed
+//! speaker emits a beep every 0.5 s (§V-A) while the user interacts, so
+//! decisions arrive as a stream; fusing them trades latency for
+//! reliability. [`FusionPolicy`] implements quorum voting over a sliding
+//! window — the natural "k of the last n beeps agree" rule.
+
+use crate::auth::AuthDecision;
+use std::collections::VecDeque;
+
+/// Quorum-over-window fusion policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FusionPolicy {
+    /// Sliding-window length in beeps.
+    pub window: usize,
+    /// Minimum number of window decisions that must accept the *same*
+    /// user for a fused accept.
+    pub quorum: usize,
+}
+
+impl FusionPolicy {
+    /// A sensible default: 3 of the last 5 beeps (≈2.5 s of probing at
+    /// the paper's 0.5 s interval).
+    pub fn default_3_of_5() -> Self {
+        FusionPolicy {
+            window: 5,
+            quorum: 3,
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `quorum` is 0 or exceeds `window`.
+    pub fn validate(&self) {
+        assert!(self.window > 0, "window must be positive");
+        assert!(
+            self.quorum > 0 && self.quorum <= self.window,
+            "quorum must lie in 1..=window"
+        );
+    }
+}
+
+/// The fused verdict after the most recent beep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FusedDecision {
+    /// A user reached the quorum.
+    Accepted {
+        /// The accepted user.
+        user_id: usize,
+        /// How many window decisions voted for them.
+        votes: usize,
+    },
+    /// No user reached the quorum (yet).
+    Undecided,
+    /// The window is full and no user reached the quorum.
+    Rejected,
+}
+
+/// A streaming fusion session.
+///
+/// # Example
+///
+/// ```
+/// use echoimage_core::auth::AuthDecision;
+/// use echoimage_core::fusion::{AuthStream, FusedDecision, FusionPolicy};
+///
+/// let mut stream = AuthStream::new(FusionPolicy { window: 3, quorum: 2 });
+/// assert_eq!(stream.push(AuthDecision::Accepted { user_id: 7 }), FusedDecision::Undecided);
+/// assert_eq!(
+///     stream.push(AuthDecision::Accepted { user_id: 7 }),
+///     FusedDecision::Accepted { user_id: 7, votes: 2 }
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct AuthStream {
+    policy: FusionPolicy,
+    window: VecDeque<AuthDecision>,
+}
+
+impl AuthStream {
+    /// Creates a session with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (see [`FusionPolicy::validate`]).
+    pub fn new(policy: FusionPolicy) -> Self {
+        policy.validate();
+        AuthStream {
+            policy,
+            window: VecDeque::with_capacity(policy.window),
+        }
+    }
+
+    /// Number of decisions currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Returns `true` if no decisions have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Clears the window (e.g. when the user walks away).
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+
+    /// Pushes one per-beep decision and returns the fused verdict.
+    pub fn push(&mut self, decision: AuthDecision) -> FusedDecision {
+        if self.window.len() == self.policy.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(decision);
+        self.verdict()
+    }
+
+    /// The current fused verdict.
+    pub fn verdict(&self) -> FusedDecision {
+        let mut counts: std::collections::BTreeMap<usize, usize> = Default::default();
+        for d in &self.window {
+            if let AuthDecision::Accepted { user_id } = d {
+                *counts.entry(*user_id).or_insert(0) += 1;
+            }
+        }
+        if let Some((&user_id, &votes)) = counts.iter().max_by_key(|(_, &v)| v) {
+            if votes >= self.policy.quorum {
+                return FusedDecision::Accepted { user_id, votes };
+            }
+        }
+        if self.window.len() == self.policy.window {
+            FusedDecision::Rejected
+        } else {
+            FusedDecision::Undecided
+        }
+    }
+}
+
+/// One-shot fusion of a batch of per-beep decisions: accept the majority
+/// user if they reach `quorum` votes.
+pub fn fuse_batch(decisions: &[AuthDecision], quorum: usize) -> FusedDecision {
+    let mut stream = AuthStream::new(FusionPolicy {
+        window: decisions.len().max(1),
+        quorum: quorum.clamp(1, decisions.len().max(1)),
+    });
+    let mut last = FusedDecision::Undecided;
+    for &d in decisions {
+        last = stream.push(d);
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: AuthDecision = AuthDecision::Accepted { user_id: 1 };
+    const B: AuthDecision = AuthDecision::Accepted { user_id: 2 };
+    const R: AuthDecision = AuthDecision::Rejected;
+
+    #[test]
+    fn quorum_accepts_majority_user() {
+        let mut s = AuthStream::new(FusionPolicy {
+            window: 5,
+            quorum: 3,
+        });
+        s.push(A);
+        s.push(R);
+        s.push(A);
+        assert_eq!(
+            s.push(A),
+            FusedDecision::Accepted {
+                user_id: 1,
+                votes: 3
+            }
+        );
+    }
+
+    #[test]
+    fn split_votes_do_not_reach_quorum() {
+        let mut s = AuthStream::new(FusionPolicy {
+            window: 4,
+            quorum: 3,
+        });
+        s.push(A);
+        s.push(B);
+        s.push(A);
+        assert_eq!(s.push(B), FusedDecision::Rejected);
+    }
+
+    #[test]
+    fn sliding_window_forgets_old_votes() {
+        let mut s = AuthStream::new(FusionPolicy {
+            window: 3,
+            quorum: 2,
+        });
+        s.push(A);
+        s.push(A); // accepted here
+        s.push(R);
+        s.push(R);
+        // Window now [A, R, R] → rejected.
+        assert_eq!(s.push(R), FusedDecision::Rejected);
+    }
+
+    #[test]
+    fn undecided_until_window_fills_without_quorum() {
+        let mut s = AuthStream::new(FusionPolicy {
+            window: 4,
+            quorum: 2,
+        });
+        assert_eq!(s.push(R), FusedDecision::Undecided);
+        assert_eq!(s.push(A), FusedDecision::Undecided);
+        assert_eq!(s.push(R), FusedDecision::Undecided);
+        assert_eq!(s.push(R), FusedDecision::Rejected);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = AuthStream::new(FusionPolicy {
+            window: 3,
+            quorum: 2,
+        });
+        s.push(A);
+        s.push(A);
+        s.reset();
+        assert!(s.is_empty());
+        assert_eq!(s.push(A), FusedDecision::Undecided);
+    }
+
+    #[test]
+    fn batch_fusion() {
+        assert_eq!(
+            fuse_batch(&[A, R, A, A], 3),
+            FusedDecision::Accepted {
+                user_id: 1,
+                votes: 3
+            }
+        );
+        assert_eq!(fuse_batch(&[A, B, R, R], 2), FusedDecision::Rejected);
+        assert_eq!(fuse_batch(&[], 1), FusedDecision::Undecided);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn invalid_policy_panics() {
+        let _ = AuthStream::new(FusionPolicy {
+            window: 2,
+            quorum: 3,
+        });
+    }
+}

@@ -1,0 +1,284 @@
+//! The end-to-end EchoImage pipeline (paper Fig. 3).
+//!
+//! [`EchoImagePipeline`] owns the configuration and the frozen feature
+//! extractor and exposes each stage — band-pass preprocessing, distance
+//! estimation, acoustic imaging, feature extraction — plus conveniences
+//! that run a whole beep train through to feature vectors.
+
+pub use crate::config::PipelineConfig;
+use crate::distance::{estimate_distance, DistanceEstimate};
+use crate::error::EchoImageError;
+use crate::features::ImageFeatures;
+use crate::imaging::construct_image;
+use echo_array::MicArray;
+use echo_dsp::filter::SosFilter;
+use echo_ml::GrayImage;
+use echo_sim::BeepCapture;
+
+/// The assembled EchoImage processing pipeline.
+///
+/// # Example
+///
+/// ```
+/// use echo_sim::{BodyModel, Placement, Scene, SceneConfig};
+/// use echoimage_core::pipeline::{EchoImagePipeline, PipelineConfig};
+///
+/// let scene = Scene::new(SceneConfig::laboratory_quiet(4));
+/// let user = BodyModel::from_seed(12);
+/// let captures = scene.capture_train(&user, &Placement::standing_front(0.7), 0, 3, 0);
+///
+/// let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+/// let (images, estimate) = pipeline.images_from_train(&captures).unwrap();
+/// assert_eq!(images.len(), 3);
+/// assert!((estimate.horizontal_distance - 0.7).abs() < 0.2);
+/// let features = pipeline.features(&images[0]);
+/// assert!(!features.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EchoImagePipeline {
+    config: PipelineConfig,
+    array: MicArray,
+    features: ImageFeatures,
+    bandpass: SosFilter,
+}
+
+impl EchoImagePipeline {
+    /// Builds the pipeline for the paper's prototype array geometry.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self::with_array(config, MicArray::respeaker_6())
+    }
+
+    /// Builds the pipeline for a custom array geometry.
+    pub fn with_array(config: PipelineConfig, array: MicArray) -> Self {
+        let bandpass = SosFilter::butterworth_bandpass(
+            config.bandpass_order.max(1),
+            config.beep.f_start,
+            config.beep.f_end,
+            config.beep.sample_rate,
+        );
+        EchoImagePipeline {
+            config,
+            array,
+            features: ImageFeatures::new(),
+            bandpass,
+        }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The array geometry the pipeline assumes.
+    pub fn array(&self) -> &MicArray {
+        &self.array
+    }
+
+    /// The frozen feature extractor.
+    pub fn feature_extractor(&self) -> &ImageFeatures {
+        &self.features
+    }
+
+    /// Band-passes every channel to the probing band (zero-phase, so
+    /// echo timing is unaffected).
+    pub fn preprocess(&self, capture: &BeepCapture) -> BeepCapture {
+        capture.map_channels(|ch| self.bandpass.filtfilt(ch))
+    }
+
+    /// Estimates the user–array distance from raw captures
+    /// (preprocessing included).
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::distance::estimate_distance`].
+    pub fn estimate_distance(
+        &self,
+        captures: &[BeepCapture],
+    ) -> Result<DistanceEstimate, EchoImageError> {
+        let filtered: Vec<BeepCapture> = captures.iter().map(|c| self.preprocess(c)).collect();
+        estimate_distance(&filtered, &self.array, &self.config)
+    }
+
+    /// Constructs the acoustic image from one raw capture at a known
+    /// horizontal distance (preprocessing included).
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::imaging::construct_image`].
+    pub fn acoustic_image(
+        &self,
+        capture: &BeepCapture,
+        horizontal_distance: f64,
+    ) -> Result<GrayImage, EchoImageError> {
+        let filtered = self.preprocess(capture);
+        construct_image(&filtered, &self.array, horizontal_distance, &self.config)
+    }
+
+    /// Full front half of the system: estimates the distance from the
+    /// whole train, then builds one acoustic image per beep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distance-estimation and imaging errors.
+    pub fn images_from_train(
+        &self,
+        captures: &[BeepCapture],
+    ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
+        let filtered: Vec<BeepCapture> = captures.iter().map(|c| self.preprocess(c)).collect();
+        let estimate = estimate_distance(&filtered, &self.array, &self.config)?;
+        // One covariance for the whole train keeps the MVDR weights
+        // identical across beeps, so image variation reflects the user,
+        // not the covariance estimator.
+        let cov = crate::distance::resolve_covariance(&filtered, &self.array, &self.config);
+        let images = filtered
+            .iter()
+            .map(|c| {
+                crate::imaging::construct_image_with_covariance(
+                    c,
+                    &self.array,
+                    estimate.horizontal_distance,
+                    &cov,
+                    &self.config,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((images, estimate))
+    }
+
+    /// Like [`EchoImagePipeline::images_from_train`], but additionally
+    /// constructs images at plane distances offset from the estimate by
+    /// each of `plane_offsets` — true geometric re-imaging of the same
+    /// captures, used at enrolment so the classifier sees the feature
+    /// variation caused by distance-estimate jitter.
+    ///
+    /// Returns `(images, estimate)` where `images` holds, per capture,
+    /// the image at the estimated plane followed by one per offset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distance-estimation and imaging errors.
+    pub fn images_from_train_multi_plane(
+        &self,
+        captures: &[BeepCapture],
+        plane_offsets: &[f64],
+    ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
+        let filtered: Vec<BeepCapture> = captures.iter().map(|c| self.preprocess(c)).collect();
+        let estimate = estimate_distance(&filtered, &self.array, &self.config)?;
+        let cov = crate::distance::resolve_covariance(&filtered, &self.array, &self.config);
+        let mut planes = vec![estimate.horizontal_distance];
+        planes.extend(
+            plane_offsets
+                .iter()
+                .map(|o| (estimate.horizontal_distance + o).max(0.2)),
+        );
+        let mut images = Vec::with_capacity(filtered.len() * planes.len());
+        for c in &filtered {
+            for &d in &planes {
+                images.push(crate::imaging::construct_image_with_covariance(
+                    c,
+                    &self.array,
+                    d,
+                    &cov,
+                    &self.config,
+                )?);
+            }
+        }
+        Ok((images, estimate))
+    }
+
+    /// Extracts the classification features of an acoustic image.
+    pub fn features(&self, image: &GrayImage) -> Vec<f64> {
+        self.features.extract(image)
+    }
+
+    /// Runs a whole train to feature vectors (distance → images →
+    /// features).
+    ///
+    /// # Errors
+    ///
+    /// Propagates distance-estimation and imaging errors.
+    pub fn features_from_train(
+        &self,
+        captures: &[BeepCapture],
+    ) -> Result<Vec<Vec<f64>>, EchoImageError> {
+        let (images, _) = self.images_from_train(captures)?;
+        Ok(images.iter().map(|i| self.features(i)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echo_sim::{BodyModel, Placement, Scene, SceneConfig};
+
+    fn pipeline() -> EchoImagePipeline {
+        EchoImagePipeline::new(PipelineConfig::default())
+    }
+
+    #[test]
+    fn preprocess_removes_out_of_band_noise() {
+        let scene = Scene::new(SceneConfig::with_environment(
+            echo_sim::EnvironmentKind::Laboratory,
+            echo_sim::NoiseKind::Traffic,
+            3,
+        ));
+        let cap = scene.capture_empty(0, 0);
+        let p = pipeline();
+        let filtered = p.preprocess(&cap);
+        // Traffic noise is sub-500 Hz: preroll energy should collapse.
+        // Compare the first half of the preroll — the zero-phase filter
+        // smears the direct chirp backwards into the preroll's tail.
+        let half = cap.preroll() / 2;
+        let raw = echo_dsp::stats::energy(&cap.noise_segments()[0][..half]);
+        let clean = echo_dsp::stats::energy(&filtered.noise_segments()[0][..half]);
+        assert!(clean < raw * 0.05, "raw {raw}, filtered {clean}");
+        assert_eq!(filtered.preroll(), cap.preroll());
+    }
+
+    #[test]
+    fn end_to_end_images_and_features() {
+        let scene = Scene::new(SceneConfig::laboratory_quiet(8));
+        let body = BodyModel::from_seed(31);
+        let caps = scene.capture_train(&body, &Placement::standing_front(0.7), 0, 2, 0);
+        let p = pipeline();
+        let (images, est) = p.images_from_train(&caps).unwrap();
+        assert_eq!(images.len(), 2);
+        assert!((est.horizontal_distance - 0.7).abs() < 0.2);
+        let feats = p.features_from_train(&caps).unwrap();
+        assert_eq!(feats.len(), 2);
+        assert_eq!(feats[0].len(), p.feature_extractor().feature_len());
+    }
+
+    #[test]
+    fn images_of_same_user_cluster_in_feature_space() {
+        let scene = Scene::new(SceneConfig::laboratory_quiet(8));
+        let a = BodyModel::from_seed(41);
+        let b = BodyModel::from_seed(42);
+        let p = pipeline();
+        let place = Placement::standing_front(0.7);
+        let fa: Vec<Vec<f64>> = p
+            .features_from_train(&scene.capture_train(&a, &place, 0, 2, 0))
+            .unwrap();
+        let fb: Vec<Vec<f64>> = p
+            .features_from_train(&scene.capture_train(&b, &place, 0, 2, 0))
+            .unwrap();
+        let d = |x: &[f64], y: &[f64]| -> f64 {
+            x.iter()
+                .zip(y)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let intra = d(&fa[0], &fa[1]);
+        let inter = d(&fa[0], &fb[0]);
+        assert!(intra < inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn pipeline_errors_propagate() {
+        let p = pipeline();
+        assert!(p.estimate_distance(&[]).is_err());
+        let silent = BeepCapture::new(vec![vec![0.0; 3_000]; 6], 48_000.0, 480);
+        assert!(p.estimate_distance(&[silent]).is_err());
+    }
+}

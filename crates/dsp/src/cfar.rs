@@ -1,0 +1,168 @@
+//! Cell-averaging CFAR (constant false-alarm rate) detection.
+//!
+//! A classic radar alternative to fixed-threshold peak picking: each
+//! sample is compared against `scale ×` the average of its surrounding
+//! *training* cells (skipping nearby *guard* cells that the target
+//! itself occupies), so the threshold adapts to a non-stationary noise
+//! floor — e.g. the decaying skirt of the direct chirp in EchoImage's
+//! correlation envelope.
+
+/// A CFAR detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Detection {
+    /// Sample index of the detection.
+    pub index: usize,
+    /// Value at the detection.
+    pub value: f64,
+    /// The adaptive threshold that was exceeded.
+    pub threshold: f64,
+}
+
+/// Cell-averaging CFAR over `signal`.
+///
+/// * `guard` — cells skipped either side of the cell under test,
+/// * `train` — training cells averaged beyond the guards (each side),
+/// * `scale` — threshold multiplier over the training mean.
+///
+/// Returns all samples exceeding their adaptive threshold that are also
+/// local maxima within ±`guard` (one detection per lobe).
+///
+/// # Panics
+///
+/// Panics if `train == 0` or `scale` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use echo_dsp::cfar::ca_cfar;
+///
+/// // A target on a sloping noise floor.
+/// let mut x: Vec<f64> = (0..200).map(|i| 1.0 + i as f64 * 0.01).collect();
+/// x[120] += 10.0;
+/// let hits = ca_cfar(&x, 2, 8, 3.0);
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!(hits[0].index, 120);
+/// ```
+pub fn ca_cfar(signal: &[f64], guard: usize, train: usize, scale: f64) -> Vec<Detection> {
+    assert!(train > 0, "need at least one training cell");
+    assert!(scale > 0.0, "scale must be positive");
+    let n = signal.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let v = signal[i];
+        // Training windows on both sides, clipped at the edges.
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        // Left side.
+        let left_hi = i.saturating_sub(guard + 1);
+        let left_lo = left_hi.saturating_sub(train.saturating_sub(1));
+        if i > guard {
+            for &t in &signal[left_lo..=left_hi] {
+                sum += t;
+                count += 1;
+            }
+        }
+        // Right side.
+        let right_lo = i + guard + 1;
+        if right_lo < n {
+            let right_hi = (right_lo + train - 1).min(n - 1);
+            for &t in &signal[right_lo..=right_hi] {
+                sum += t;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            continue;
+        }
+        let threshold = scale * sum / count as f64;
+        if v <= threshold {
+            continue;
+        }
+        // One detection per lobe: require a local maximum within ±guard.
+        let lo = i.saturating_sub(guard.max(1));
+        let hi = (i + guard.max(1) + 1).min(n);
+        let is_peak = signal[lo..hi]
+            .iter()
+            .enumerate()
+            .all(|(k, &w)| w < v || (w == v && lo + k >= i));
+        if is_peak {
+            out.push(Detection {
+                index: i,
+                value: v,
+                threshold,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_target_on_flat_noise() {
+        let mut x = vec![1.0; 100];
+        x[40] = 8.0;
+        let hits = ca_cfar(&x, 2, 10, 3.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].index, 40);
+        assert!(hits[0].threshold < 8.0 && hits[0].threshold > 2.0);
+    }
+
+    #[test]
+    fn adapts_to_sloping_floor() {
+        // A fixed threshold tuned for the start would fire constantly at
+        // the end of this ramp; CFAR does not.
+        let x: Vec<f64> = (0..300).map(|i| 1.0 + i as f64 * 0.05).collect();
+        let hits = ca_cfar(&x, 2, 12, 2.0);
+        assert!(hits.is_empty(), "ramp alone must not fire: {hits:?}");
+    }
+
+    #[test]
+    fn detects_weak_target_in_quiet_region_but_not_strong_floor() {
+        let mut x = vec![0.1; 200];
+        for v in x.iter_mut().take(60) {
+            *v = 5.0; // loud early region (direct-path skirt)
+        }
+        x[150] = 0.9; // weak echo in the quiet region
+        let hits = ca_cfar(&x, 3, 10, 2.5);
+        assert!(hits.iter().any(|h| h.index == 150), "{hits:?}");
+        // Nothing inside the uniformly loud region.
+        assert!(hits.iter().all(|h| h.index >= 55));
+    }
+
+    #[test]
+    fn two_separated_targets_yield_two_detections() {
+        let mut x = vec![1.0; 300];
+        x[80] = 9.0;
+        x[200] = 7.0;
+        let hits = ca_cfar(&x, 2, 10, 3.0);
+        let idx: Vec<usize> = hits.iter().map(|h| h.index).collect();
+        assert_eq!(idx, vec![80, 200]);
+    }
+
+    #[test]
+    fn guard_cells_protect_wide_targets() {
+        // A 3-sample-wide target must not raise its own threshold.
+        let mut x = vec![1.0; 120];
+        x[59] = 6.0;
+        x[60] = 8.0;
+        x[61] = 6.0;
+        let hits = ca_cfar(&x, 3, 10, 3.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].index, 60);
+    }
+
+    #[test]
+    fn empty_signal_is_quiet() {
+        assert!(ca_cfar(&[], 2, 8, 3.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "training")]
+    fn zero_training_cells_panics() {
+        let _ = ca_cfar(&[1.0; 10], 1, 0, 2.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Matched filtering and cross-correlation (paper Eq. 9).
+//!
+//! The distance estimator slides the known chirp across the beamformed
+//! recording: `C_l(t) = (r̂_l ⋆ h)(t)` with `h(t) = s*(−t)`, i.e. the
+//! cross-correlation of the recording with the transmitted chirp. The peak
+//! index is the echo delay in samples. All correlations here run in
+//! O(n log n) via the FFT.
+
+use crate::complex::Complex;
+use crate::fft::{fft, ifft, next_pow2};
+
+/// Matched-filter output: cross-correlation of `signal` with `template`.
+///
+/// `out[k] = Σ_n signal[n + k] · template[n]` for `k` in
+/// `0..signal.len()` — index `k` is the template's delay into the signal.
+/// Lags where the template overhangs the end use the available overlap
+/// (zero padding), matching the paper's sliding-window formulation.
+///
+/// # Panics
+///
+/// Panics if `template` is empty.
+///
+/// # Example
+///
+/// ```
+/// use echo_dsp::correlate::matched_filter;
+///
+/// let template = [1.0, 2.0, 1.0];
+/// let mut signal = vec![0.0; 32];
+/// signal[10..13].copy_from_slice(&template);
+/// let c = matched_filter(&signal, &template);
+/// let best = c.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+/// assert_eq!(best, 10);
+/// ```
+pub fn matched_filter(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    assert!(!template.is_empty(), "matched filter needs a template");
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let n = signal.len();
+    let m = template.len();
+    let size = next_pow2(n + m - 1);
+
+    let mut a: Vec<Complex> = Vec::with_capacity(size);
+    a.extend(signal.iter().map(|&x| Complex::from_real(x)));
+    a.resize(size, Complex::ZERO);
+    let mut b: Vec<Complex> = Vec::with_capacity(size);
+    b.extend(template.iter().map(|&x| Complex::from_real(x)));
+    b.resize(size, Complex::ZERO);
+
+    fft(&mut a);
+    fft(&mut b);
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x = *x * y.conj();
+    }
+    ifft(&mut a);
+    a.truncate(n);
+    a.into_iter().map(|v| v.re).collect()
+}
+
+/// Matched filter for complex (e.g. beamformed analytic) signals.
+///
+/// `out[k] = Σ_n signal[n + k] · conj(template[n])`.
+///
+/// # Panics
+///
+/// Panics if `template` is empty.
+pub fn matched_filter_complex(signal: &[Complex], template: &[Complex]) -> Vec<Complex> {
+    assert!(!template.is_empty(), "matched filter needs a template");
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let n = signal.len();
+    let m = template.len();
+    let size = next_pow2(n + m - 1);
+
+    let mut a = signal.to_vec();
+    a.resize(size, Complex::ZERO);
+    let mut b = template.to_vec();
+    b.resize(size, Complex::ZERO);
+
+    fft(&mut a);
+    fft(&mut b);
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x = *x * y.conj();
+    }
+    ifft(&mut a);
+    a.truncate(n);
+    a
+}
+
+/// Full linear convolution `signal * kernel` of length `n + m − 1`.
+///
+/// # Panics
+///
+/// Panics if either input is empty.
+pub fn convolve(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+    assert!(
+        !signal.is_empty() && !kernel.is_empty(),
+        "convolve needs non-empty inputs"
+    );
+    let n = signal.len();
+    let m = kernel.len();
+    let out_len = n + m - 1;
+    let size = next_pow2(out_len);
+
+    let mut a: Vec<Complex> = Vec::with_capacity(size);
+    a.extend(signal.iter().map(|&x| Complex::from_real(x)));
+    a.resize(size, Complex::ZERO);
+    let mut b: Vec<Complex> = Vec::with_capacity(size);
+    b.extend(kernel.iter().map(|&x| Complex::from_real(x)));
+    b.resize(size, Complex::ZERO);
+
+    fft(&mut a);
+    fft(&mut b);
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x *= *y;
+    }
+    ifft(&mut a);
+    a.truncate(out_len);
+    a.into_iter().map(|v| v.re).collect()
+}
+
+/// Normalised cross-correlation coefficient in `[-1, 1]` between two
+/// equal-length signals (zero-lag Pearson correlation without mean removal).
+///
+/// Returns 0 when either signal has zero energy.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn normalized_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let dot: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+    let ea: f64 = a.iter().map(|x| x * x).sum();
+    let eb: f64 = b.iter().map(|x| x * x).sum();
+    if ea == 0.0 || eb == 0.0 {
+        return 0.0;
+    }
+    dot / (ea.sqrt() * eb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chirp::LfmChirp;
+
+    #[test]
+    fn matched_filter_locates_delayed_template() {
+        let chirp = LfmChirp::new(2_000.0, 3_000.0, 0.002, 48_000.0);
+        let s = chirp.samples();
+        for delay in [0usize, 7, 100, 900] {
+            let mut rx = vec![0.0; 1_200];
+            for (i, &v) in s.iter().enumerate() {
+                rx[delay + i] = v;
+            }
+            let c = matched_filter(&rx, &s);
+            let best = c
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            assert_eq!(best, delay);
+        }
+    }
+
+    #[test]
+    fn matched_filter_separates_two_echoes() {
+        let chirp = LfmChirp::new(2_000.0, 3_000.0, 0.002, 48_000.0);
+        let s = chirp.samples();
+        let mut rx = vec![0.0; 2_000];
+        for (i, &v) in s.iter().enumerate() {
+            rx[200 + i] += v;
+            rx[700 + i] += 0.4 * v;
+        }
+        let c = matched_filter(&rx, &s);
+        let peak_energy = s.iter().map(|v| v * v).sum::<f64>();
+        assert!((c[200] - peak_energy).abs() < 1e-6 * peak_energy);
+        assert!((c[700] - 0.4 * peak_energy).abs() < 1e-6 * peak_energy);
+    }
+
+    #[test]
+    fn matched_filter_handles_partial_overlap_at_end() {
+        let template = [1.0, 1.0, 1.0];
+        let signal = [0.0, 0.0, 0.0, 1.0, 1.0];
+        let c = matched_filter(&signal, &template);
+        assert_eq!(c.len(), 5);
+        assert!(
+            (c[3] - 2.0).abs() < 1e-9,
+            "tail overlap counts available samples"
+        );
+    }
+
+    #[test]
+    fn matched_filter_against_naive() {
+        let signal: Vec<f64> = (0..50).map(|i| ((i * i) as f64 * 0.013).sin()).collect();
+        let template: Vec<f64> = (0..7).map(|i| (i as f64 * 0.9).cos()).collect();
+        let fast = matched_filter(&signal, &template);
+        for k in 0..signal.len() {
+            let mut acc = 0.0;
+            for (n, &t) in template.iter().enumerate() {
+                if k + n < signal.len() {
+                    acc += signal[k + n] * t;
+                }
+            }
+            assert!((fast[k] - acc).abs() < 1e-9, "lag {k}");
+        }
+    }
+
+    #[test]
+    fn complex_matched_filter_matches_real_one_for_real_input() {
+        let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+        let template: Vec<f64> = (0..9).map(|i| (i as f64 * 0.7).cos()).collect();
+        let real = matched_filter(&signal, &template);
+        let cs: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+        let ct: Vec<Complex> = template.iter().map(|&x| Complex::from_real(x)).collect();
+        let cplx = matched_filter_complex(&cs, &ct);
+        for (a, b) in real.iter().zip(cplx.iter()) {
+            assert!((a - b.re).abs() < 1e-9);
+            assert!(b.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convolve_against_naive() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0];
+        let c = convolve(&a, &b);
+        assert_eq!(c.len(), 4);
+        let expect = [4.0, 13.0, 22.0, 15.0];
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalized_correlation_bounds() {
+        let a: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).sin()).collect();
+        assert!((normalized_correlation(&a, &a) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((normalized_correlation(&a, &neg) + 1.0).abs() < 1e-12);
+        let zeros = vec![0.0; 32];
+        assert_eq!(normalized_correlation(&a, &zeros), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "template")]
+    fn empty_template_panics() {
+        let _ = matched_filter(&[1.0, 2.0], &[]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Fast Fourier transforms of arbitrary length.
+//!
+//! Power-of-two lengths use an iterative radix-2 Cooley–Tukey transform;
+//! every other length is handled exactly via Bluestein's chirp-z algorithm,
+//! so callers never need to pad or truncate.
+
+use crate::complex::Complex;
+use std::f64::consts::PI;
+
+/// Returns the smallest power of two `>= n` (and `>= 1`).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place radix-2 FFT. `data.len()` must be a power of two.
+fn fft_radix2(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Arbitrary-length FFT via Bluestein's algorithm.
+fn fft_bluestein(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w_k = e^{sign * i * π k² / n}. Compute k² mod 2n to avoid
+    // catastrophic phase error for large k.
+    let m2 = 2 * n as u64;
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let k = k as u64;
+            let q = (k * k) % m2;
+            Complex::cis(sign * PI * q as f64 / n as f64)
+        })
+        .collect();
+
+    let conv_len = next_pow2(2 * n - 1);
+    let mut a = vec![Complex::ZERO; conv_len];
+    let mut b = vec![Complex::ZERO; conv_len];
+    for k in 0..n {
+        a[k] = data[k] * chirp[k];
+    }
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[conv_len - k] = c;
+    }
+
+    fft_radix2(&mut a, false);
+    fft_radix2(&mut b, false);
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x *= *y;
+    }
+    fft_radix2(&mut a, true);
+    let scale = 1.0 / conv_len as f64;
+    for k in 0..n {
+        data[k] = a[k] * chirp[k] * scale;
+    }
+}
+
+/// In-place forward FFT of any length.
+///
+/// Uses radix-2 when the length is a power of two and Bluestein otherwise.
+/// The transform is unnormalised: `ifft(fft(x)) == x`.
+///
+/// # Example
+///
+/// ```
+/// use echo_dsp::Complex;
+/// use echo_dsp::fft::{fft, ifft};
+///
+/// let mut x = vec![Complex::from_real(1.0), Complex::from_real(2.0), Complex::from_real(3.0)];
+/// let orig = x.clone();
+/// fft(&mut x);
+/// ifft(&mut x);
+/// for (a, b) in x.iter().zip(orig.iter()) {
+///     assert!((*a - *b).abs() < 1e-12);
+/// }
+/// ```
+pub fn fft(data: &mut [Complex]) {
+    if data.len() <= 1 {
+        return;
+    }
+    if data.len().is_power_of_two() {
+        fft_radix2(data, false);
+    } else {
+        fft_bluestein(data, false);
+    }
+}
+
+/// In-place inverse FFT of any length, normalised by `1/n`.
+pub fn ifft(data: &mut [Complex]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        fft_radix2(data, true);
+    } else {
+        fft_bluestein(data, true);
+    }
+    let scale = 1.0 / n as f64;
+    for x in data.iter_mut() {
+        *x = *x * scale;
+    }
+}
+
+/// Forward FFT of a real signal, returning the full complex spectrum.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    fft(&mut buf);
+    buf
+}
+
+/// Magnitude spectrum of a real signal (bin k ↔ frequency `k·fs/n`).
+pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    fft_real(signal).into_iter().map(Complex::abs).collect()
+}
+
+/// Frequency (Hz) of spectrum bin `k` for an `n`-point transform at `fs`.
+#[inline]
+pub fn bin_frequency(k: usize, n: usize, fs: f64) -> f64 {
+    k as f64 * fs / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((*x - *y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!((*v - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let mut x = vec![Complex::ONE; 16];
+        fft(&mut x);
+        assert!((x[0] - Complex::from_real(16.0)).abs() < 1e-9);
+        for v in &x[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sine_lands_in_expected_bin() {
+        let n = 64;
+        let k = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let spec = magnitude_spectrum(&x);
+        let peak = spec
+            .iter()
+            .enumerate()
+            .take(n / 2)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, k);
+        assert!((spec[k] - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_pow2() {
+        let orig: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        assert_close(&x, &orig, 1e-10);
+    }
+
+    #[test]
+    fn round_trip_arbitrary_lengths() {
+        for n in [3usize, 5, 7, 12, 25, 97, 100, 243] {
+            let orig: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 1.3).sin(), (i as f64 * 0.31).cos()))
+                .collect();
+            let mut x = orig.clone();
+            fft(&mut x);
+            ifft(&mut x);
+            assert_close(&x, &orig, 1e-9);
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_radix2_after_padding_free_dft() {
+        // Direct O(n²) DFT as ground truth for a non-pow2 length.
+        let n = 12;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), (i as f64 * 0.5).sin()))
+            .collect();
+        let mut fast = x.clone();
+        fft(&mut fast);
+        for k in 0..n {
+            let mut acc = Complex::ZERO;
+            for (j, v) in x.iter().enumerate() {
+                acc += *v * Complex::cis(-2.0 * PI * (k * j) as f64 / n as f64);
+            }
+            assert!((fast[k] - acc).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let x: Vec<f64> = (0..50).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let spec = fft_real(&x);
+        let freq_energy: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 40;
+        let a: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_real((i as f64).sin()))
+            .collect();
+        let b: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_real((i as f64).cos()))
+            .collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fft(&mut fa);
+        fft(&mut fb);
+        let mut sum: Vec<Complex> = a.iter().zip(b.iter()).map(|(x, y)| *x + *y * 2.0).collect();
+        fft(&mut sum);
+        let expect: Vec<Complex> = fa
+            .iter()
+            .zip(fb.iter())
+            .map(|(x, y)| *x + *y * 2.0)
+            .collect();
+        assert_close(&sum, &expect, 1e-9);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut e: Vec<Complex> = vec![];
+        fft(&mut e);
+        ifft(&mut e);
+        let mut one = vec![Complex::new(3.0, -1.0)];
+        fft(&mut one);
+        assert_eq!(one[0], Complex::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn next_pow2_bounds() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+
+    #[test]
+    fn bin_frequency_maps_linearly() {
+        assert_eq!(bin_frequency(0, 128, 48_000.0), 0.0);
+        assert_eq!(bin_frequency(64, 128, 48_000.0), 24_000.0);
+    }
+
+    use std::f64::consts::PI;
+}

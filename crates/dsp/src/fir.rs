@@ -1,0 +1,198 @@
+//! Linear-phase FIR filters via windowed-sinc design.
+//!
+//! The pipeline's default band-pass is IIR (Butterworth, §V-B of the
+//! paper); the FIR designs here provide an exactly linear-phase
+//! alternative whose constant group delay can simply be subtracted —
+//! useful when echo timing must not be warped at band edges.
+
+use crate::correlate::convolve;
+use crate::window::{window, WindowKind};
+
+/// A linear-phase FIR filter (odd-length, symmetric taps).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FirFilter {
+    taps: Vec<f64>,
+}
+
+impl FirFilter {
+    /// Windowed-sinc low-pass with cutoff `fc` Hz and `taps` coefficients
+    /// (forced odd), Hamming-windowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps == 0` or `fc` is outside `(0, fs/2)`.
+    pub fn lowpass(taps: usize, fc: f64, fs: f64) -> Self {
+        assert!(taps > 0, "need at least one tap");
+        assert!(fc > 0.0 && fc < fs / 2.0, "cutoff must lie in (0, Nyquist)");
+        let n = if taps % 2 == 0 { taps + 1 } else { taps };
+        let mid = (n / 2) as isize;
+        let w = window(WindowKind::Hamming, n);
+        let fc_n = fc / fs; // cycles per sample
+        let mut h: Vec<f64> = (0..n as isize)
+            .map(|i| {
+                let k = (i - mid) as f64;
+                2.0 * fc_n * crate::interp::sinc(2.0 * fc_n * k) * w[i as usize]
+            })
+            .collect();
+        // Normalise DC gain to exactly 1.
+        let sum: f64 = h.iter().sum();
+        for v in &mut h {
+            *v /= sum;
+        }
+        FirFilter { taps: h }
+    }
+
+    /// Windowed-sinc band-pass for `[f_lo, f_hi]` Hz (difference of two
+    /// low-passes), unit gain at the band centre.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is invalid.
+    pub fn bandpass(taps: usize, f_lo: f64, f_hi: f64, fs: f64) -> Self {
+        assert!(f_lo < f_hi, "band edges must satisfy f_lo < f_hi");
+        let hi = Self::lowpass(taps, f_hi, fs);
+        let lo = Self::lowpass(taps, f_lo, fs);
+        let mut h: Vec<f64> = hi
+            .taps
+            .iter()
+            .zip(lo.taps.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        // Normalise gain at the band centre.
+        let fc = (f_lo + f_hi) / 2.0;
+        let w = 2.0 * std::f64::consts::PI * fc / fs;
+        let (mut re, mut im) = (0.0f64, 0.0f64);
+        for (k, &v) in h.iter().enumerate() {
+            re += v * (w * k as f64).cos();
+            im -= v * (w * k as f64).sin();
+        }
+        let g = re.hypot(im);
+        for v in &mut h {
+            *v /= g;
+        }
+        FirFilter { taps: h }
+    }
+
+    /// The filter coefficients.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Constant group delay in samples (`(N−1)/2` for symmetric taps).
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() - 1) as f64 / 2.0
+    }
+
+    /// Filters a signal (full convolution trimmed to the input length,
+    /// i.e. output sample `n` aligns with input sample `n` delayed by
+    /// [`FirFilter::group_delay`]).
+    pub fn filter(&self, signal: &[f64]) -> Vec<f64> {
+        if signal.is_empty() {
+            return Vec::new();
+        }
+        let mut y = convolve(signal, &self.taps);
+        y.truncate(signal.len());
+        y
+    }
+
+    /// Filters and removes the group delay, aligning output with input
+    /// (edge samples are zero-padded).
+    pub fn filter_zero_delay(&self, signal: &[f64]) -> Vec<f64> {
+        if signal.is_empty() {
+            return Vec::new();
+        }
+        let full = convolve(signal, &self.taps);
+        let d = self.taps.len() / 2;
+        full[d..d + signal.len()].to_vec()
+    }
+
+    /// Magnitude response at `f` Hz.
+    pub fn gain_at(&self, f: f64, fs: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * f / fs;
+        let (mut re, mut im) = (0.0f64, 0.0f64);
+        for (k, &v) in self.taps.iter().enumerate() {
+            re += v * (w * k as f64).cos();
+            im -= v * (w * k as f64).sin();
+        }
+        re.hypot(im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    const FS: f64 = 48_000.0;
+
+    #[test]
+    fn lowpass_gains() {
+        let f = FirFilter::lowpass(129, 2_000.0, FS);
+        assert!((f.gain_at(1e-6, FS) - 1.0).abs() < 1e-9, "DC gain");
+        assert!(f.gain_at(500.0, FS) > 0.99);
+        assert!(f.gain_at(8_000.0, FS) < 1e-3);
+    }
+
+    #[test]
+    fn bandpass_gains() {
+        let f = FirFilter::bandpass(193, 2_000.0, 3_000.0, FS);
+        assert!((f.gain_at(2_500.0, FS) - 1.0).abs() < 1e-6, "centre gain");
+        assert!(f.gain_at(500.0, FS) < 1e-3, "low stop-band");
+        assert!(f.gain_at(10_000.0, FS) < 1e-3, "high stop-band");
+    }
+
+    #[test]
+    fn taps_are_symmetric_linear_phase() {
+        let f = FirFilter::bandpass(101, 2_000.0, 3_000.0, FS);
+        let t = f.taps();
+        for i in 0..t.len() {
+            assert!((t[i] - t[t.len() - 1 - i]).abs() < 1e-12, "tap {i}");
+        }
+        assert_eq!(f.group_delay(), 50.0);
+    }
+
+    #[test]
+    fn even_tap_request_is_rounded_up_to_odd() {
+        let f = FirFilter::lowpass(64, 1_000.0, FS);
+        assert_eq!(f.taps().len() % 2, 1);
+    }
+
+    #[test]
+    fn zero_delay_filtering_aligns_with_input() {
+        let f = FirFilter::bandpass(193, 2_000.0, 3_000.0, FS);
+        let n = 4_800;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (TAU * 2_500.0 * i as f64 / FS).sin())
+            .collect();
+        let y = f.filter_zero_delay(&x);
+        assert_eq!(y.len(), n);
+        // Mid-signal: output in phase with input (gain 1 at centre).
+        for i in (400..n - 400).step_by(531) {
+            assert!(
+                (y[i] - x[i]).abs() < 0.01,
+                "sample {i}: {} vs {}",
+                y[i],
+                x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn filters_attenuate_out_of_band_tone() {
+        let f = FirFilter::bandpass(193, 2_000.0, 3_000.0, FS);
+        let n = 4_800;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (TAU * 500.0 * i as f64 / FS).sin())
+            .collect();
+        let y = f.filter_zero_delay(&x);
+        let rms = |s: &[f64]| (s.iter().map(|v| v * v).sum::<f64>() / s.len() as f64).sqrt();
+        assert!(rms(&y[400..n - 400]) < 0.01 * rms(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn bad_cutoff_panics() {
+        let _ = FirFilter::lowpass(65, 30_000.0, FS);
+    }
+}

@@ -1,0 +1,190 @@
+//! Analytic signals and envelope detection.
+//!
+//! The paper tracks "the overall trend changes" of the matched-filter
+//! output by taking its envelope (§V-B, `E_l(t)`). We compute envelopes as
+//! the magnitude of the analytic signal obtained with a Hilbert transform,
+//! optionally smoothed with a short moving average.
+
+use crate::complex::Complex;
+use crate::fft::{fft, ifft};
+
+/// Computes the analytic signal `x + i·H{x}` of a real signal.
+///
+/// Implemented in the frequency domain: positive frequencies are doubled,
+/// negative frequencies zeroed. Works for any length thanks to the
+/// Bluestein FFT.
+///
+/// # Example
+///
+/// ```
+/// use echo_dsp::hilbert::analytic_signal;
+///
+/// // The analytic signal of cos(wt) is e^{iwt}: unit magnitude.
+/// let n = 256;
+/// let x: Vec<f64> = (0..n)
+///     .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / n as f64).cos())
+///     .collect();
+/// let a = analytic_signal(&x);
+/// for v in &a[10..n - 10] {
+///     assert!((v.abs() - 1.0).abs() < 1e-6);
+/// }
+/// ```
+pub fn analytic_signal(signal: &[f64]) -> Vec<Complex> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut spec: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    fft(&mut spec);
+    // Single-sided spectrum weighting.
+    let half = n / 2;
+    for (k, v) in spec.iter_mut().enumerate() {
+        if k == 0 || (n % 2 == 0 && k == half) {
+            // DC (and Nyquist for even n) stay unscaled.
+        } else if k < half || (n % 2 == 1 && k == half) {
+            *v = *v * 2.0;
+        } else {
+            *v = Complex::ZERO;
+        }
+    }
+    ifft(&mut spec);
+    spec
+}
+
+/// Envelope of a real signal: `|analytic(x)|`.
+pub fn envelope(signal: &[f64]) -> Vec<f64> {
+    analytic_signal(signal)
+        .into_iter()
+        .map(Complex::abs)
+        .collect()
+}
+
+/// Envelope smoothed by a centred moving average of width `window`
+/// (clamped to odd and at least 1).
+pub fn smoothed_envelope(signal: &[f64], window: usize) -> Vec<f64> {
+    moving_average(&envelope(signal), window)
+}
+
+/// Centred moving average. Edges use the available (shorter) window.
+pub fn moving_average(signal: &[f64], window: usize) -> Vec<f64> {
+    let w = window.max(1);
+    let half = w / 2;
+    let n = signal.len();
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &x in signal {
+        prefix.push(prefix.last().unwrap() + x);
+    }
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            (prefix[hi] - prefix[lo]) / (hi - lo) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn analytic_signal_of_cosine_is_phasor() {
+        let n = 512;
+        let k = 20.0;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k * i as f64 / n as f64).cos())
+            .collect();
+        let a = analytic_signal(&x);
+        for (i, v) in a.iter().enumerate() {
+            assert!(
+                (v.abs() - 1.0).abs() < 1e-9,
+                "sample {i}: |a| = {}",
+                v.abs()
+            );
+            let expected_phase = 2.0 * PI * k * i as f64 / n as f64;
+            let diff = (v.arg() - expected_phase).rem_euclid(2.0 * PI);
+            assert!(diff < 1e-6 || diff > 2.0 * PI - 1e-6, "phase at {i}");
+        }
+    }
+
+    #[test]
+    fn real_part_is_preserved() {
+        let x: Vec<f64> = (0..100).map(|i| ((i * 3) as f64 * 0.07).sin()).collect();
+        let a = analytic_signal(&x);
+        for (v, &orig) in a.iter().zip(x.iter()) {
+            assert!((v.re - orig).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn envelope_recovers_amplitude_modulation() {
+        // x(t) = (1 + 0.5 sin(w_m t)) cos(w_c t): envelope is the AM term.
+        let n = 2_048;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                (1.0 + 0.5 * (2.0 * PI * 4.0 * t).sin()) * (2.0 * PI * 200.0 * t).cos()
+            })
+            .collect();
+        let e = envelope(&x);
+        for i in (100..n - 100).step_by(37) {
+            let t = i as f64 / n as f64;
+            let expect = 1.0 + 0.5 * (2.0 * PI * 4.0 * t).sin();
+            assert!(
+                (e[i] - expect).abs() < 0.02,
+                "sample {i}: {} vs {expect}",
+                e[i]
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_works_for_odd_lengths() {
+        let n = 501;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 25.0 * i as f64 / n as f64).cos())
+            .collect();
+        let e = envelope(&x);
+        for v in &e[20..n - 20] {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn envelope_is_nonnegative_upper_bound() {
+        let x: Vec<f64> = (0..300)
+            .map(|i| ((i as f64) * 0.3).sin() * ((i as f64) * 0.01).cos())
+            .collect();
+        let e = envelope(&x);
+        for (ev, xv) in e.iter().zip(x.iter()) {
+            assert!(*ev >= 0.0);
+            assert!(*ev + 1e-9 >= xv.abs());
+        }
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_constant() {
+        let x = vec![3.0; 40];
+        let y = moving_average(&x, 7);
+        assert!(y.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn moving_average_smooths_impulse() {
+        let mut x = vec![0.0; 21];
+        x[10] = 10.0;
+        let y = moving_average(&x, 5);
+        assert!((y[10] - 2.0).abs() < 1e-12);
+        assert!((y[8] - 2.0).abs() < 1e-12);
+        assert!(y[7].abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert!(analytic_signal(&[]).is_empty());
+        assert!(envelope(&[]).is_empty());
+        assert!(moving_average(&[], 5).is_empty());
+    }
+}

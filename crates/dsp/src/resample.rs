@@ -1,0 +1,126 @@
+//! Sample-rate conversion.
+//!
+//! The paper's prototype records at 48 kHz, but deployed devices use
+//! 44.1 kHz or 16 kHz front ends; this windowed-sinc resampler converts
+//! captures to the pipeline's rate.
+
+use crate::interp::sample_sinc;
+
+/// Resamples `signal` from `from_hz` to `to_hz` with windowed-sinc
+/// interpolation (half-width `taps`; 8 is a good default).
+///
+/// When downsampling, the signal must already be band-limited below the
+/// target Nyquist (use a low-pass first) — this function interpolates,
+/// it does not decimate-filter.
+///
+/// # Panics
+///
+/// Panics if either rate is non-positive or `taps == 0`.
+///
+/// # Example
+///
+/// ```
+/// use echo_dsp::resample::resample;
+///
+/// let tone: Vec<f64> = (0..480)
+///     .map(|i| (2.0 * std::f64::consts::PI * 1_000.0 * i as f64 / 48_000.0).sin())
+///     .collect();
+/// let down = resample(&tone, 48_000.0, 16_000.0, 8);
+/// assert_eq!(down.len(), 160);
+/// ```
+pub fn resample(signal: &[f64], from_hz: f64, to_hz: f64, taps: usize) -> Vec<f64> {
+    assert!(from_hz > 0.0 && to_hz > 0.0, "rates must be positive");
+    assert!(taps > 0, "need at least one tap");
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let ratio = from_hz / to_hz;
+    let out_len = ((signal.len() as f64) / ratio).floor() as usize;
+    (0..out_len)
+        .map(|i| sample_sinc(signal, i as f64 * ratio, taps))
+        .collect()
+}
+
+/// Upsamples by an integer factor (exact length `n·factor`).
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+pub fn upsample(signal: &[f64], factor: usize, taps: usize) -> Vec<f64> {
+    assert!(factor > 0, "factor must be positive");
+    resample(signal, 1.0, factor as f64, taps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn tone(f: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (TAU * f * i as f64 / fs).sin()).collect()
+    }
+
+    #[test]
+    fn output_length_follows_ratio() {
+        let x = tone(440.0, 48_000.0, 4_800);
+        assert_eq!(resample(&x, 48_000.0, 16_000.0, 8).len(), 1_600);
+        assert_eq!(resample(&x, 48_000.0, 96_000.0, 8).len(), 9_600);
+    }
+
+    #[test]
+    fn tone_survives_downsampling() {
+        let fs_in = 48_000.0;
+        let fs_out = 16_000.0;
+        let f = 1_000.0;
+        let x = tone(f, fs_in, 9_600);
+        let y = resample(&x, fs_in, fs_out, 8);
+        // Compare interior samples to the ideal tone at the new rate.
+        for i in (40..y.len() - 40).step_by(97) {
+            let truth = (TAU * f * i as f64 / fs_out).sin();
+            assert!(
+                (y[i] - truth).abs() < 0.01,
+                "sample {i}: {} vs {truth}",
+                y[i]
+            );
+        }
+    }
+
+    #[test]
+    fn tone_survives_441_to_48() {
+        let f = 2_500.0;
+        let x = tone(f, 44_100.0, 8_820);
+        let y = resample(&x, 44_100.0, 48_000.0, 8);
+        for i in (50..y.len() - 60).step_by(131) {
+            let truth = (TAU * f * i as f64 / 48_000.0).sin();
+            assert!((y[i] - truth).abs() < 0.01, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn identity_resampling_is_near_exact() {
+        let x = tone(700.0, 8_000.0, 800);
+        let y = resample(&x, 8_000.0, 8_000.0, 8);
+        assert_eq!(y.len(), x.len());
+        for i in 20..x.len() - 20 {
+            assert!((y[i] - x[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn upsample_factor() {
+        let x = tone(100.0, 8_000.0, 160);
+        let y = upsample(&x, 3, 8);
+        assert_eq!(y.len(), 480);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(resample(&[], 48_000.0, 16_000.0, 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = resample(&[1.0], 0.0, 1.0, 8);
+    }
+}

@@ -1,0 +1,183 @@
+//! Small numeric helpers shared across the EchoImage crates.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Root-mean-square value; 0 for an empty slice.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Euclidean (L2) norm. This is the paper's pixel value operator applied
+/// to an echo segment (§V-C).
+pub fn l2_norm(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Total signal energy `Σ x²`.
+pub fn energy(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum()
+}
+
+/// Converts a linear amplitude ratio to decibels (`20·log10`).
+pub fn amplitude_to_db(ratio: f64) -> f64 {
+    20.0 * ratio.log10()
+}
+
+/// Converts decibels to a linear amplitude ratio.
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Signal-to-noise ratio in dB given signal and noise RMS amplitudes.
+///
+/// Returns `f64::INFINITY` when the noise is silent.
+pub fn snr_db(signal_rms: f64, noise_rms: f64) -> f64 {
+    if noise_rms == 0.0 {
+        return f64::INFINITY;
+    }
+    amplitude_to_db(signal_rms / noise_rms)
+}
+
+/// Cosine similarity between two equal-length vectors; 0 if either is zero.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Index of the maximum element (first occurrence); `None` when empty or
+/// all-NaN.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if x <= bv => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Min-max normalises a slice in place to `[0, 1]`; constant slices map to 0.
+pub fn normalize_min_max(xs: &mut [f64]) {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in xs.iter() {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let span = hi - lo;
+    if span <= 0.0 || !span.is_finite() {
+        for x in xs.iter_mut() {
+            *x = 0.0;
+        }
+        return;
+    }
+    for x in xs.iter_mut() {
+        *x = (*x - lo) / span;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn rms_and_energy() {
+        let xs = [3.0, 4.0];
+        assert!((rms(&xs) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(energy(&xs), 25.0);
+        assert_eq!(l2_norm(&xs), 5.0);
+    }
+
+    #[test]
+    fn db_round_trip() {
+        for db in [-40.0, -6.0206, 0.0, 20.0] {
+            assert!((amplitude_to_db(db_to_amplitude(db)) - db).abs() < 1e-9);
+        }
+        assert!((amplitude_to_db(10.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snr_of_silence_is_infinite() {
+        assert_eq!(snr_db(1.0, 0.0), f64::INFINITY);
+        assert!((snr_db(10.0, 1.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_similarity_cases() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&a, &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_finds_first_max_and_skips_nan() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN, 2.0, 1.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn min_max_normalisation() {
+        let mut xs = [2.0, 4.0, 6.0];
+        normalize_min_max(&mut xs);
+        assert_eq!(xs, [0.0, 0.5, 1.0]);
+        let mut flat = [3.0, 3.0];
+        normalize_min_max(&mut flat);
+        assert_eq!(flat, [0.0, 0.0]);
+    }
+}

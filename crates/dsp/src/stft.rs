@@ -1,0 +1,319 @@
+//! Short-time Fourier transform and spectrograms.
+//!
+//! Used for signal diagnostics (visualising chirps and noise) and by
+//! downstream tooling that wants time–frequency views of captures.
+
+use crate::complex::Complex;
+use crate::fft::fft;
+use crate::window::{window, WindowKind};
+
+/// A time–frequency magnitude representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    /// `frames[t][k]`: magnitude of bin `k` at frame `t`.
+    pub frames: Vec<Vec<f64>>,
+    /// Samples between frame starts.
+    pub hop: usize,
+    /// FFT size (bins per frame = `fft_size/2 + 1`).
+    pub fft_size: usize,
+    /// Sample rate, Hz.
+    pub sample_rate: f64,
+}
+
+impl Spectrogram {
+    /// Frequency of bin `k` in Hz.
+    pub fn bin_frequency(&self, k: usize) -> f64 {
+        k as f64 * self.sample_rate / self.fft_size as f64
+    }
+
+    /// Time of frame `t` in seconds (frame centre).
+    pub fn frame_time(&self, t: usize) -> f64 {
+        (t * self.hop + self.fft_size / 2) as f64 / self.sample_rate
+    }
+
+    /// The bin with the largest magnitude in frame `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn peak_bin(&self, t: usize) -> usize {
+        self.frames[t]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, _)| k)
+            .unwrap_or(0)
+    }
+
+    /// Total energy per frame.
+    pub fn frame_energies(&self) -> Vec<f64> {
+        self.frames
+            .iter()
+            .map(|f| f.iter().map(|v| v * v).sum())
+            .collect()
+    }
+}
+
+/// Computes a magnitude spectrogram with a Hann window.
+///
+/// Frames shorter than `fft_size` at the signal tail are dropped.
+///
+/// # Panics
+///
+/// Panics if `fft_size` or `hop` is zero.
+///
+/// # Example
+///
+/// ```
+/// use echo_dsp::chirp::LfmChirp;
+/// use echo_dsp::stft::stft;
+///
+/// // A long 2→3 kHz chirp: the spectrogram's peak frequency must rise.
+/// let c = LfmChirp::new(2_000.0, 3_000.0, 0.1, 48_000.0);
+/// let spec = stft(&c.samples(), 512, 128, 48_000.0);
+/// let first = spec.bin_frequency(spec.peak_bin(1));
+/// let last = spec.bin_frequency(spec.peak_bin(spec.frames.len() - 2));
+/// assert!(last > first);
+/// ```
+pub fn stft(signal: &[f64], fft_size: usize, hop: usize, sample_rate: f64) -> Spectrogram {
+    assert!(fft_size > 0 && hop > 0, "fft_size and hop must be positive");
+    let win = window(WindowKind::Hann, fft_size);
+    let mut frames = Vec::new();
+    let mut start = 0usize;
+    while start + fft_size <= signal.len() {
+        let mut buf: Vec<Complex> = signal[start..start + fft_size]
+            .iter()
+            .zip(win.iter())
+            .map(|(&x, &w)| Complex::from_real(x * w))
+            .collect();
+        fft(&mut buf);
+        frames.push(buf[..fft_size / 2 + 1].iter().map(|v| v.abs()).collect());
+        start += hop;
+    }
+    Spectrogram {
+        frames,
+        hop,
+        fft_size,
+        sample_rate,
+    }
+}
+
+/// Complex STFT frames (one-sided spectrum, `fft_size/2 + 1` bins per
+/// frame), Hann-windowed.
+///
+/// # Panics
+///
+/// Panics if `fft_size` or `hop` is zero.
+pub fn stft_complex(signal: &[f64], fft_size: usize, hop: usize) -> Vec<Vec<Complex>> {
+    assert!(fft_size > 0 && hop > 0, "fft_size and hop must be positive");
+    let win = window(WindowKind::Hann, fft_size);
+    let mut frames = Vec::new();
+    let mut start = 0usize;
+    while start + fft_size <= signal.len() {
+        let mut buf: Vec<Complex> = signal[start..start + fft_size]
+            .iter()
+            .zip(win.iter())
+            .map(|(&x, &w)| Complex::from_real(x * w))
+            .collect();
+        fft(&mut buf);
+        frames.push(buf[..fft_size / 2 + 1].to_vec());
+        start += hop;
+    }
+    frames
+}
+
+/// Inverse STFT via weighted overlap-add, reconstructing a real signal
+/// of length `out_len` from one-sided complex frames.
+///
+/// Exact (up to numerical error) for Hann analysis windows when
+/// `hop ≤ fft_size/2` (constant-overlap-add holds after the per-sample
+/// window-power normalisation applied here).
+///
+/// # Panics
+///
+/// Panics if frames have inconsistent sizes or `hop == 0`.
+pub fn istft(frames: &[Vec<Complex>], fft_size: usize, hop: usize, out_len: usize) -> Vec<f64> {
+    assert!(hop > 0, "hop must be positive");
+    let bins = fft_size / 2 + 1;
+    assert!(
+        frames.iter().all(|f| f.len() == bins),
+        "frames must hold fft_size/2 + 1 bins"
+    );
+    let win = window(WindowKind::Hann, fft_size);
+    let mut out = vec![0.0f64; out_len];
+    let mut norm = vec![0.0f64; out_len];
+    for (t, frame) in frames.iter().enumerate() {
+        // Rebuild the full Hermitian spectrum.
+        let mut buf = vec![Complex::ZERO; fft_size];
+        buf[..bins].copy_from_slice(frame);
+        for k in 1..fft_size - bins + 1 {
+            buf[fft_size - k] = frame[k].conj();
+        }
+        crate::fft::ifft(&mut buf);
+        let start = t * hop;
+        for (i, v) in buf.iter().enumerate() {
+            let idx = start + i;
+            if idx < out_len {
+                // Weighted overlap-add: synthesis window = analysis
+                // window, normalised by Σ w² below.
+                out[idx] += v.re * win[i];
+                norm[idx] += win[i] * win[i];
+            }
+        }
+    }
+    for (o, &n) in out.iter_mut().zip(norm.iter()) {
+        if n > 1e-12 {
+            *o /= n;
+        }
+    }
+    out
+}
+
+/// Goertzel single-bin DFT: the power of `signal` at `frequency`.
+///
+/// Much cheaper than a full FFT when only one frequency matters — e.g.
+/// detecting whether a probing beep is present in a live stream.
+pub fn goertzel_power(signal: &[f64], frequency: f64, sample_rate: f64) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    let w = 2.0 * std::f64::consts::PI * frequency / sample_rate;
+    let coeff = 2.0 * w.cos();
+    let (mut s1, mut s2) = (0.0f64, 0.0f64);
+    for &x in signal {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    (s1 * s1 + s2 * s2 - coeff * s1 * s2) / (signal.len() as f64 * signal.len() as f64 / 4.0)
+}
+
+/// Detects whether the probing band (between `f_lo` and `f_hi`) carries
+/// substantially more power than its surroundings — a cheap beep-presence
+/// trigger for streaming use.
+pub fn band_activity(signal: &[f64], f_lo: f64, f_hi: f64, sample_rate: f64) -> f64 {
+    let centre = (f_lo + f_hi) / 2.0;
+    let in_band = goertzel_power(signal, centre, sample_rate)
+        + goertzel_power(signal, f_lo, sample_rate)
+        + goertzel_power(signal, f_hi, sample_rate);
+    let out_band = goertzel_power(signal, f_lo / 2.0, sample_rate)
+        + goertzel_power(signal, (f_hi * 1.5).min(sample_rate * 0.45), sample_rate)
+        + 1e-12;
+    in_band / out_band
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chirp::LfmChirp;
+    use std::f64::consts::TAU;
+
+    const FS: f64 = 48_000.0;
+
+    fn tone(f: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (TAU * f * i as f64 / FS).sin()).collect()
+    }
+
+    #[test]
+    fn spectrogram_tracks_chirp_sweep() {
+        let c = LfmChirp::new(2_000.0, 3_000.0, 0.2, FS);
+        let spec = stft(&c.samples(), 1_024, 256, FS);
+        assert!(spec.frames.len() > 20);
+        // Peak frequency rises roughly monotonically.
+        let f_first = spec.bin_frequency(spec.peak_bin(2));
+        let f_mid = spec.bin_frequency(spec.peak_bin(spec.frames.len() / 2));
+        let f_last = spec.bin_frequency(spec.peak_bin(spec.frames.len() - 3));
+        assert!(
+            f_first < f_mid && f_mid < f_last,
+            "{f_first} {f_mid} {f_last}"
+        );
+        assert!(f_first > 1_800.0 && f_last < 3_200.0);
+    }
+
+    #[test]
+    fn spectrogram_geometry() {
+        let spec = stft(&tone(1_000.0, 4_096), 512, 128, FS);
+        assert_eq!(spec.frames[0].len(), 257);
+        assert!((spec.bin_frequency(256) - FS / 2.0).abs() < 1e-9);
+        assert!(spec.frame_time(1) > spec.frame_time(0));
+    }
+
+    #[test]
+    fn goertzel_matches_tone_frequency() {
+        let s = tone(2_500.0, 4_800);
+        let on = goertzel_power(&s, 2_500.0, FS);
+        let off = goertzel_power(&s, 1_000.0, FS);
+        assert!(on > 100.0 * off, "on {on}, off {off}");
+    }
+
+    #[test]
+    fn goertzel_amplitude_scaling() {
+        let s1 = tone(2_000.0, 4_800);
+        let s2: Vec<f64> = s1.iter().map(|x| 2.0 * x).collect();
+        let p1 = goertzel_power(&s1, 2_000.0, FS);
+        let p2 = goertzel_power(&s2, 2_000.0, FS);
+        assert!((p2 / p1 - 4.0).abs() < 0.01, "power scales with amplitude²");
+    }
+
+    #[test]
+    fn band_activity_flags_beeps() {
+        let beep = LfmChirp::new(2_000.0, 3_000.0, 0.01, FS).samples();
+        let quiet: Vec<f64> = (0..480)
+            .map(|i| ((i as u64).wrapping_mul(2_654_435_761) % 65_536) as f64 / 65_536.0 - 0.5)
+            .collect();
+        let a_beep = band_activity(&beep, 2_000.0, 3_000.0, FS);
+        let a_quiet = band_activity(&quiet, 2_000.0, 3_000.0, FS);
+        assert!(a_beep > 10.0 * a_quiet, "beep {a_beep}, quiet {a_quiet}");
+    }
+
+    #[test]
+    fn empty_signal_is_quiet() {
+        assert_eq!(goertzel_power(&[], 1_000.0, FS), 0.0);
+        let spec = stft(&[0.0; 100], 512, 128, FS);
+        assert!(spec.frames.is_empty());
+    }
+
+    #[test]
+    fn stft_istft_round_trip() {
+        // A broadband-ish signal reconstructs through analysis/synthesis.
+        let n = 4_096;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                (TAU * 700.0 * i as f64 / FS).sin() + 0.4 * (TAU * 2_500.0 * i as f64 / FS).cos()
+            })
+            .collect();
+        let (fft_size, hop) = (512, 128);
+        let frames = stft_complex(&x, fft_size, hop);
+        let y = istft(&frames, fft_size, hop, n);
+        // Interior samples (away from edge frames) reconstruct closely.
+        for i in fft_size..n - fft_size {
+            assert!(
+                (y[i] - x[i]).abs() < 1e-6,
+                "sample {i}: {} vs {}",
+                y[i],
+                x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn istft_of_zeroed_frames_is_silence() {
+        let x = tone(1_000.0, 2_048);
+        let mut frames = stft_complex(&x, 256, 64);
+        for f in &mut frames {
+            for v in f.iter_mut() {
+                *v = Complex::ZERO;
+            }
+        }
+        let y = istft(&frames, 256, 64, 2_048);
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn stft_complex_frame_geometry() {
+        let x = tone(500.0, 1_024);
+        let frames = stft_complex(&x, 256, 128);
+        assert_eq!(frames.len(), (1_024 - 256) / 128 + 1);
+        assert!(frames.iter().all(|f| f.len() == 129));
+    }
+}

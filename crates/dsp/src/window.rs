@@ -1,0 +1,124 @@
+//! Window functions used for spectral shaping and tapering.
+
+use std::f64::consts::PI;
+
+/// The window functions supported by [`window`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum WindowKind {
+    /// All-ones window (no tapering).
+    Rectangular,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+}
+
+/// Generates an `n`-point window of the requested kind.
+///
+/// Windows are symmetric (`w[i] == w[n-1-i]`), matching the usual filter
+/// design convention.
+///
+/// # Example
+///
+/// ```
+/// use echo_dsp::window::{window, WindowKind};
+///
+/// let w = window(WindowKind::Hann, 5);
+/// assert!((w[2] - 1.0).abs() < 1e-12); // peak at the centre
+/// assert!(w[0].abs() < 1e-12);
+/// ```
+pub fn window(kind: WindowKind, n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    let denom = (n - 1) as f64;
+    (0..n)
+        .map(|i| {
+            let x = i as f64 / denom;
+            match kind {
+                WindowKind::Rectangular => 1.0,
+                WindowKind::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
+                WindowKind::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
+                WindowKind::Blackman => {
+                    0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
+                }
+            }
+        })
+        .collect()
+}
+
+/// Multiplies `signal` by the window in place.
+///
+/// # Panics
+///
+/// Panics if `signal` and `win` have different lengths.
+pub fn apply_window(signal: &mut [f64], win: &[f64]) {
+    assert_eq!(signal.len(), win.len(), "window length mismatch");
+    for (s, w) in signal.iter_mut().zip(win.iter()) {
+        *s *= w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_symmetric() {
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ] {
+            let w = window(kind, 33);
+            for i in 0..w.len() {
+                assert!(
+                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                    "{kind:?} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero() {
+        let w = window(WindowKind::Hann, 17);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[16].abs() < 1e-12);
+        assert!((w[8] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints_are_nonzero() {
+        let w = window(WindowKind::Hamming, 17);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(window(WindowKind::Hann, 0).is_empty());
+        assert_eq!(window(WindowKind::Blackman, 1), vec![1.0]);
+    }
+
+    #[test]
+    fn apply_window_multiplies() {
+        let mut s = vec![2.0; 5];
+        let w = window(WindowKind::Rectangular, 5);
+        apply_window(&mut s, &w);
+        assert_eq!(s, vec![2.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn apply_window_length_mismatch_panics() {
+        let mut s = vec![1.0; 4];
+        apply_window(&mut s, &[1.0; 5]);
+    }
+}

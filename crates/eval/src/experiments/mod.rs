@@ -1,0 +1,19 @@
+//! One runner per table/figure of the paper's evaluation (§VI).
+//!
+//! Each module exposes a `Config` (sized by default for a single CPU
+//! core; raise the counts to approach the paper's scale), a serialisable
+//! `Result` struct, and a `run` function. The `echo-bench` crate wraps
+//! these in binaries that print the paper-style rows and dump JSON
+//! artefacts.
+
+pub mod ablation_classifiers;
+pub mod ablation_grid;
+pub mod fig05;
+pub mod fig08;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod protocol;
+pub mod robustness;
+pub mod table1;

@@ -1,0 +1,247 @@
+//! Dataset generation: simulated subjects → feature vectors.
+//!
+//! [`Harness`] runs the full EchoImage front end (capture → band-pass →
+//! distance estimation → acoustic imaging → CNN features) for a subject
+//! under a [`CaptureSpec`] describing the experimental condition
+//! (environment, noise, distance, session). This is the piece every
+//! experiment runner shares.
+
+use echo_ml::GrayImage;
+use echo_sim::{BodyModel, EnvironmentKind, NoiseKind, Placement, Scene, SceneConfig, UserProfile};
+use echoimage_core::pipeline::{EchoImagePipeline, PipelineConfig};
+use echoimage_core::{DistanceEstimate, EchoImageError};
+use serde::{Deserialize, Serialize};
+
+/// One experimental condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaptureSpec {
+    /// Experiment environment.
+    pub environment: EnvironmentKind,
+    /// Ambient-noise condition.
+    pub noise: NoiseKind,
+    /// True horizontal user–array distance, metres.
+    pub distance: f64,
+    /// Session index (the paper's Sessions 1–3 → 0–2).
+    pub session: u32,
+    /// Number of beeps to capture.
+    pub beeps: usize,
+    /// First beep index (decorrelates noise across draws).
+    pub beep_offset: u64,
+    /// Per-microphone gain mismatch std, dB (device imperfection sweep).
+    pub mic_gain_error_db: f64,
+    /// Per-microphone timing mismatch std, seconds.
+    pub mic_timing_error: f64,
+}
+
+impl CaptureSpec {
+    /// The paper's default condition: quiet laboratory, 0.7 m, session 1.
+    pub fn default_lab(beeps: usize) -> Self {
+        CaptureSpec {
+            environment: EnvironmentKind::Laboratory,
+            noise: NoiseKind::Quiet,
+            distance: 0.7,
+            session: 0,
+            beeps,
+            beep_offset: 0,
+            mic_gain_error_db: 0.0,
+            mic_timing_error: 0.0,
+        }
+    }
+}
+
+/// The shared experiment harness.
+///
+/// # Example
+///
+/// ```
+/// use echo_eval::harness::{CaptureSpec, Harness};
+/// use echo_sim::Population;
+///
+/// let harness = Harness::new(7);
+/// let pop = Population::paper_table1(7);
+/// let feats = harness
+///     .features_for(&pop.profiles()[0].body(), &CaptureSpec::default_lab(2))
+///     .unwrap();
+/// assert_eq!(feats.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Harness {
+    pipeline: EchoImagePipeline,
+    seed: u64,
+}
+
+impl Harness {
+    /// Creates a harness with the default pipeline configuration.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(PipelineConfig::default(), seed)
+    }
+
+    /// Creates a harness with a custom pipeline configuration (smaller
+    /// grids for smoke tests, ablation beamformers, …).
+    pub fn with_config(config: PipelineConfig, seed: u64) -> Self {
+        Harness {
+            pipeline: EchoImagePipeline::new(config),
+            seed,
+        }
+    }
+
+    /// The underlying pipeline.
+    pub fn pipeline(&self) -> &EchoImagePipeline {
+        &self.pipeline
+    }
+
+    /// Builds the scene for a condition (environment layout and noise
+    /// streams derive from the harness seed).
+    pub fn scene(&self, spec: &CaptureSpec) -> Scene {
+        let mut cfg = SceneConfig::with_environment(spec.environment, spec.noise, self.seed);
+        cfg.mic_gain_error_db = spec.mic_gain_error_db;
+        cfg.mic_timing_error = spec.mic_timing_error;
+        Scene::new(cfg)
+    }
+
+    /// Captures `spec.beeps` beeps of `body` and returns the acoustic
+    /// images plus the distance estimate used to build them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors (undetectable direct path or echo,
+    /// beamforming failures).
+    pub fn images_for(
+        &self,
+        body: &BodyModel,
+        spec: &CaptureSpec,
+    ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
+        let scene = self.scene(spec);
+        let captures = scene.capture_train(
+            body,
+            &Placement::standing_front(spec.distance),
+            spec.session,
+            spec.beeps,
+            spec.beep_offset,
+        );
+        self.pipeline.images_from_train(&captures)
+    }
+
+    /// Like [`Harness::images_for`], with extra images constructed at
+    /// plane distances offset from the estimate (enrolment-time plane
+    /// diversity).
+    ///
+    /// # Errors
+    ///
+    /// See [`Harness::images_for`].
+    pub fn images_multi_plane(
+        &self,
+        body: &BodyModel,
+        spec: &CaptureSpec,
+        plane_offsets: &[f64],
+    ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
+        let scene = self.scene(spec);
+        let captures = scene.capture_train(
+            body,
+            &Placement::standing_front(spec.distance),
+            spec.session,
+            spec.beeps,
+            spec.beep_offset,
+        );
+        self.pipeline
+            .images_from_train_multi_plane(&captures, plane_offsets)
+    }
+
+    /// Captures and converts straight to feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// See [`Harness::images_for`].
+    pub fn features_for(
+        &self,
+        body: &BodyModel,
+        spec: &CaptureSpec,
+    ) -> Result<Vec<Vec<f64>>, EchoImageError> {
+        let (images, _) = self.images_for(body, spec)?;
+        Ok(images.iter().map(|i| self.pipeline.features(i)).collect())
+    }
+
+    /// Convenience over a [`UserProfile`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Harness::images_for`].
+    pub fn features_for_profile(
+        &self,
+        profile: &UserProfile,
+        spec: &CaptureSpec,
+    ) -> Result<Vec<Vec<f64>>, EchoImageError> {
+        self.features_for(&profile.body(), spec)
+    }
+
+    /// Extracts features for a batch of images (used by the augmentation
+    /// experiment, which synthesises extra images before featurising).
+    pub fn features_of_images(&self, images: &[GrayImage]) -> Vec<Vec<f64>> {
+        images.iter().map(|i| self.pipeline.features(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echo_sim::Population;
+    use echoimage_core::config::ImagingConfig;
+
+    fn small_harness() -> Harness {
+        // A small grid keeps unit tests fast; experiments use defaults.
+        let mut cfg = PipelineConfig::default();
+        cfg.imaging = ImagingConfig {
+            grid_n: 16,
+            grid_spacing: 0.1,
+            ..ImagingConfig::default()
+        };
+        Harness::with_config(cfg, 3)
+    }
+
+    #[test]
+    fn features_have_consistent_shape() {
+        let h = small_harness();
+        let pop = Population::paper_table1(3);
+        let f = h
+            .features_for_profile(&pop.profiles()[0], &CaptureSpec::default_lab(2))
+            .unwrap();
+        assert_eq!(f.len(), 2);
+        let d = h.pipeline().feature_extractor().feature_len();
+        assert!(f.iter().all(|v| v.len() == d));
+    }
+
+    #[test]
+    fn harness_is_deterministic() {
+        let h1 = small_harness();
+        let h2 = small_harness();
+        let body = BodyModel::from_seed(5);
+        let spec = CaptureSpec::default_lab(1);
+        assert_eq!(
+            h1.features_for(&body, &spec).unwrap(),
+            h2.features_for(&body, &spec).unwrap()
+        );
+    }
+
+    #[test]
+    fn beep_offset_changes_samples_but_not_identity() {
+        let h = small_harness();
+        let body = BodyModel::from_seed(6);
+        let mut spec = CaptureSpec::default_lab(1);
+        let a = h.features_for(&body, &spec).unwrap();
+        spec.beep_offset = 50;
+        let b = h.features_for(&body, &spec).unwrap();
+        assert_ne!(a, b, "different beeps should differ");
+    }
+
+    #[test]
+    fn distance_estimate_is_near_spec_distance() {
+        let h = small_harness();
+        let body = BodyModel::from_seed(7);
+        let (_, est) = h.images_for(&body, &CaptureSpec::default_lab(4)).unwrap();
+        assert!(
+            (est.horizontal_distance - 0.7).abs() < 0.2,
+            "{}",
+            est.horizontal_distance
+        );
+    }
+}

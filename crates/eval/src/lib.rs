@@ -1,0 +1,30 @@
+//! Evaluation harness for the EchoImage reproduction.
+//!
+//! Regenerates every table and figure of the paper's §VI evaluation on
+//! the simulated substrate:
+//!
+//! * [`metrics`] — recall / precision / accuracy / F-measure (Eq. 16)
+//!   and confusion matrices over registered users + a spoofer class,
+//! * [`harness`] — turns a simulated subject into feature vectors by
+//!   running the full capture → distance → image → feature pipeline,
+//! * [`experiments`] — one runner per table/figure:
+//!   [`experiments::table1`], [`experiments::fig05`],
+//!   [`experiments::fig08`], [`experiments::fig11`],
+//!   [`experiments::fig12`], [`experiments::fig13`],
+//!   [`experiments::fig14`],
+//! * [`report`] — JSON artefact writing for EXPERIMENTS.md.
+//!
+//! Scale note: the paper uses 200 training + 300 test chirps per user;
+//! the defaults here use fewer beeps per user so the whole suite runs on
+//! a single CPU core in minutes. Every count is configurable through the
+//! experiment config structs, and the experiment *protocols* (sessions,
+//! environments, distances, spoofer splits) match the paper exactly.
+
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod roc;
+
+pub use harness::{CaptureSpec, Harness};
+pub use metrics::{AuthMetrics, ConfusionMatrix, SPOOFER};

@@ -1,0 +1,63 @@
+//! Experiment artefact writing.
+//!
+//! Every figure binary dumps its structured results as JSON under
+//! `target/experiments/` so EXPERIMENTS.md can cite exact numbers and
+//! reruns can be diffed.
+
+use serde::Serialize;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default artefact directory, relative to the workspace root.
+pub const ARTEFACT_DIR: &str = "target/experiments";
+
+/// Serialises `value` as pretty JSON to `<dir>/<name>.json`, creating
+/// the directory if needed, and returns the written path.
+///
+/// # Errors
+///
+/// Returns any I/O or serialisation error.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Writes to the default artefact directory.
+///
+/// # Errors
+///
+/// See [`write_json`].
+pub fn write_artefact<T: Serialize>(name: &str, value: &T) -> io::Result<PathBuf> {
+    write_json(Path::new(ARTEFACT_DIR), name, value)
+}
+
+/// Formats a `0.xyz` rate with three decimals, the paper's style.
+pub fn rate(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_rereads_json() {
+        let dir = std::env::temp_dir().join("echoimage-report-test");
+        let path = write_json(&dir, "sample", &vec![1, 2, 3]).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rate_formats_three_decimals() {
+        assert_eq!(rate(0.98765), "0.988");
+        assert_eq!(rate(1.0), "1.000");
+    }
+}

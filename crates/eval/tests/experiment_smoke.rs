@@ -1,0 +1,113 @@
+//! Smoke tests: every experiment runner executes end-to-end at tiny
+//! scale and produces structurally sound output. (Full-scale runs are
+//! the `echo-bench` binaries.)
+
+use echo_eval::experiments::{fig05, fig08, fig11, fig12, fig13, fig14, protocol, table1};
+use echo_sim::NoiseKind;
+
+fn tiny_protocol() -> protocol::ProtocolConfig {
+    protocol::ProtocolConfig {
+        train_beeps: 4,
+        enroll_batch: 2,
+        augment_offsets: vec![],
+        plane_offsets: vec![],
+        test_beeps: 2,
+        test_sessions: vec![0],
+        ..protocol::ProtocolConfig::default()
+    }
+}
+
+#[test]
+fn table1_smoke() {
+    let t = table1::run(9);
+    assert_eq!(t.rows.len(), 5);
+    assert_eq!(t.registered + t.spoofers, 20);
+}
+
+#[test]
+fn fig05_smoke() {
+    let out = fig05::run(&fig05::Config {
+        beeps: 4,
+        ..fig05::Config::default()
+    })
+    .expect("fig05 failed");
+    assert!(out.slant_distance > 0.0);
+    assert!(out.horizontal_distance > 0.0);
+    assert!(!out.envelope.is_empty());
+    assert!(!out.peaks.is_empty());
+    assert!(out.error < 0.3, "error {}", out.error);
+}
+
+#[test]
+fn fig08_smoke() {
+    let out = fig08::run(&fig08::Config {
+        beeps: 2,
+        ..fig08::Config::default()
+    })
+    .expect("fig08 failed");
+    assert_eq!(out.image_a.len(), out.grid_n * out.grid_n);
+    assert!(out.same_user_similarity > out.cross_user_similarity);
+}
+
+#[test]
+fn fig11_smoke() {
+    let out = fig11::run(&fig11::Config {
+        seed: 5,
+        protocol: tiny_protocol(),
+    })
+    .expect("fig11 failed");
+    // 12 users + 8 spoofers × 2 test beeps × 1 session.
+    assert_eq!(out.confusion.total(), 20 * 2);
+    assert!(out.user_identification >= 0.0 && out.user_identification <= 1.0);
+    assert!(out.spoofer_detection >= 0.0 && out.spoofer_detection <= 1.0);
+}
+
+#[test]
+fn fig12_smoke() {
+    let out = fig12::run(&fig12::Config {
+        seed: 5,
+        users: 2,
+        spoofers: 1,
+        protocol: tiny_protocol(),
+    })
+    .expect("fig12 failed");
+    // 3 environments × 4 noises.
+    assert_eq!(out.cells.len(), 12);
+    assert!(out
+        .cell(echo_sim::EnvironmentKind::Outdoor, NoiseKind::Traffic)
+        .is_some());
+}
+
+#[test]
+fn fig13_smoke() {
+    let out = fig13::run(&fig13::Config {
+        seed: 5,
+        users: 2,
+        spoofers: 1,
+        distances: vec![0.7, 1.2],
+        noises: vec![NoiseKind::Quiet],
+        protocol: tiny_protocol(),
+    })
+    .expect("fig13 failed");
+    assert_eq!(out.points.len(), 2);
+    let series = out.f_measure_series(NoiseKind::Quiet);
+    assert_eq!(series.len(), 2);
+    assert!(series[0].0 < series[1].0, "ordered by distance");
+}
+
+#[test]
+fn fig14_smoke() {
+    let out = fig14::run(&fig14::Config {
+        seed: 5,
+        users: 2,
+        spoofers: 1,
+        train_sizes: vec![2, 4],
+        target_distances: vec![0.6, 1.0],
+        test_beeps: 2,
+        ..fig14::Config::default()
+    })
+    .expect("fig14 failed");
+    assert_eq!(out.points.len(), 2);
+    assert_eq!(out.points[0].train_beeps, 2);
+    assert_eq!(out.points[1].train_beeps, 4);
+}

@@ -1,0 +1,60 @@
+//! Serde round-trips for every serialisable configuration and result
+//! type: experiment artefacts must reload bit-identically.
+
+use echo_eval::experiments::{fig11, fig12, fig13, fig14, protocol::ProtocolConfig};
+use echo_eval::harness::CaptureSpec;
+use echo_eval::metrics::{AuthMetrics, ConfusionMatrix, SPOOFER};
+use echoimage_core::auth::AuthConfig;
+use echoimage_core::config::PipelineConfig;
+use echoimage_core::AuthDecision;
+
+fn round_trip<T>(value: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(value).expect("serialise");
+    let back: T = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(&back, value);
+}
+
+#[test]
+fn pipeline_config_round_trips() {
+    round_trip(&PipelineConfig::default());
+    round_trip(&PipelineConfig::paper());
+}
+
+#[test]
+fn protocol_and_capture_spec_round_trip() {
+    round_trip(&ProtocolConfig::default());
+    round_trip(&CaptureSpec::default_lab(7));
+    round_trip(&AuthConfig::default());
+}
+
+#[test]
+fn experiment_configs_round_trip() {
+    round_trip(&fig11::Config::default());
+    round_trip(&fig12::Config::default());
+    round_trip(&fig13::Config::default());
+    round_trip(&fig14::Config::default());
+}
+
+#[test]
+fn confusion_matrix_round_trips_with_decisions() {
+    let mut cm = ConfusionMatrix::new(&[1, 2, 3]);
+    cm.record(1, AuthDecision::Accepted { user_id: 1 });
+    cm.record(2, AuthDecision::Accepted { user_id: 3 });
+    cm.record(SPOOFER, AuthDecision::Rejected);
+    round_trip(&cm);
+    round_trip(&cm.metrics());
+}
+
+#[test]
+fn metrics_round_trip() {
+    let m = AuthMetrics {
+        recall: 0.9,
+        precision: 0.95,
+        accuracy: 0.92,
+        f_measure: 0.925,
+    };
+    round_trip(&m);
+}

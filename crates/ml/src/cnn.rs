@@ -1,0 +1,405 @@
+//! A VGG-style convolutional feature extractor with fixed, seeded weights.
+//!
+//! The paper feeds acoustic images through a *frozen* pre-trained VGGish
+//! network and taps the 5th pooling layer as a 25 088-dimensional
+//! embedding (§V-D). The pre-trained weights are not available to a pure
+//! Rust reproduction, so this extractor keeps the paper's structure —
+//! stacked 3×3 convolutions + ReLU + 2×2 max-pooling, frozen weights,
+//! embedding tapped after the last pool — but draws the weights once from
+//! a seeded RNG with He scaling. Fixed random convolutional features are
+//! a long-established substitute for pre-trained frozen features: the
+//! trained part of the paper's classifier (the SVMs) sits entirely
+//! downstream of this map.
+
+use crate::image::GrayImage;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A 3-D feature map: `height × width × channels`, row-major with channel
+/// innermost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMap {
+    height: usize,
+    width: usize,
+    channels: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMap {
+    /// An all-zero map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(height: usize, width: usize, channels: usize) -> Self {
+        assert!(
+            height > 0 && width > 0 && channels > 0,
+            "feature-map dimensions must be positive"
+        );
+        FeatureMap {
+            height,
+            width,
+            channels,
+            data: vec![0.0; height * width * channels],
+        }
+    }
+
+    /// Height in rows.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Width in columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Value at `(y, x, c)`.
+    #[inline]
+    pub fn get(&self, y: usize, x: usize, c: usize) -> f64 {
+        debug_assert!(y < self.height && x < self.width && c < self.channels);
+        self.data[(y * self.width + x) * self.channels + c]
+    }
+
+    /// Sets value at `(y, x, c)`.
+    #[inline]
+    pub fn set(&mut self, y: usize, x: usize, c: usize, v: f64) {
+        debug_assert!(y < self.height && x < self.width && c < self.channels);
+        self.data[(y * self.width + x) * self.channels + c] = v;
+    }
+
+    /// Flattens to a feature vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    fn from_image(img: &GrayImage) -> FeatureMap {
+        let mut m = FeatureMap::zeros(img.height(), img.width(), 1);
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                m.set(y, x, 0, img.get(x, y));
+            }
+        }
+        m
+    }
+}
+
+/// One 3×3 convolution layer (stride 1, zero padding 1) with ReLU.
+#[derive(Debug, Clone, PartialEq)]
+struct ConvLayer {
+    in_channels: usize,
+    out_channels: usize,
+    /// `[out][in][ky][kx]` flattened.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+}
+
+impl ConvLayer {
+    fn seeded(in_channels: usize, out_channels: usize, rng: &mut ChaCha8Rng) -> Self {
+        // He initialisation for ReLU nets: sd = sqrt(2 / fan_in).
+        let fan_in = (in_channels * 9) as f64;
+        let sd = (2.0 / fan_in).sqrt();
+        let n = out_channels * in_channels * 9;
+        let weights = (0..n).map(|_| sd * randn(rng)).collect();
+        let bias = vec![0.0; out_channels];
+        ConvLayer {
+            in_channels,
+            out_channels,
+            weights,
+            bias,
+        }
+    }
+
+    #[inline]
+    fn w(&self, o: usize, i: usize, ky: usize, kx: usize) -> f64 {
+        self.weights[((o * self.in_channels + i) * 3 + ky) * 3 + kx]
+    }
+
+    fn forward(&self, input: &FeatureMap) -> FeatureMap {
+        assert_eq!(input.channels(), self.in_channels, "channel mismatch");
+        let (h, w) = (input.height(), input.width());
+        let mut out = FeatureMap::zeros(h, w, self.out_channels);
+        for y in 0..h {
+            for x in 0..w {
+                for o in 0..self.out_channels {
+                    let mut acc = self.bias[o];
+                    for ky in 0..3 {
+                        let iy = y as isize + ky as isize - 1;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..3 {
+                            let ix = x as isize + kx as isize - 1;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            for i in 0..self.in_channels {
+                                acc +=
+                                    self.w(o, i, ky, kx) * input.get(iy as usize, ix as usize, i);
+                            }
+                        }
+                    }
+                    // ReLU fused into the layer.
+                    out.set(y, x, o, acc.max(0.0));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// 2×2 max-pool with stride 2 (odd trailing rows/columns are dropped,
+/// VGG-style).
+fn max_pool_2x2(input: &FeatureMap) -> FeatureMap {
+    let h = (input.height() / 2).max(1);
+    let w = (input.width() / 2).max(1);
+    let c = input.channels();
+    let mut out = FeatureMap::zeros(h, w, c);
+    for y in 0..h {
+        for x in 0..w {
+            for ch in 0..c {
+                let mut best = f64::NEG_INFINITY;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let iy = (y * 2 + dy).min(input.height() - 1);
+                        let ix = (x * 2 + dx).min(input.width() - 1);
+                        best = best.max(input.get(iy, ix, ch));
+                    }
+                }
+                out.set(y, x, ch, best);
+            }
+        }
+    }
+    out
+}
+
+/// The frozen feature extractor: `(conv3×3 + ReLU + pool2×2) × stages`,
+/// embedding tapped after the final pool (the paper taps VGGish's 5th
+/// pool).
+///
+/// # Example
+///
+/// ```
+/// use echo_ml::{FeatureExtractor, GrayImage};
+///
+/// let fx = FeatureExtractor::paper_default();
+/// let img = GrayImage::from_fn(48, 48, |x, y| ((x * y) % 7) as f64);
+/// let f = fx.extract(&img);
+/// assert_eq!(f.len(), fx.feature_len());
+/// // Frozen weights: extraction is deterministic.
+/// assert_eq!(f, fx.extract(&img));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureExtractor {
+    input_size: usize,
+    layers: Vec<ConvLayer>,
+    feature_len: usize,
+}
+
+impl FeatureExtractor {
+    /// Builds an extractor with the given input resolution and channel
+    /// progression, weights drawn deterministically from `seed`.
+    ///
+    /// `channels` lists the output channels of each conv stage; each
+    /// stage halves the spatial resolution via max-pooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is empty or the input is too small for the
+    /// number of pooling stages.
+    pub fn new(input_size: usize, channels: &[usize], seed: u64) -> Self {
+        assert!(!channels.is_empty(), "need at least one conv stage");
+        assert!(
+            input_size >> channels.len() >= 1,
+            "input too small for {} pooling stages",
+            channels.len()
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC04E_F00D_0000_0000);
+        let mut layers = Vec::with_capacity(channels.len());
+        let mut in_ch = 1;
+        for &out_ch in channels {
+            layers.push(ConvLayer::seeded(in_ch, out_ch, &mut rng));
+            in_ch = out_ch;
+        }
+        let final_side = input_size >> channels.len();
+        let feature_len = final_side * final_side * in_ch;
+        FeatureExtractor {
+            input_size,
+            layers,
+            feature_len,
+        }
+    }
+
+    /// The default used throughout the reproduction: 32×32 input, three
+    /// conv stages (8, 16, 32 channels) → 4×4×32 = 512-dimensional
+    /// embedding. A scaled-down VGGish: same topology, sized for the
+    /// simulation's acoustic images.
+    pub fn paper_default() -> Self {
+        Self::new(32, &[8, 16, 32], 0x5EED_F00D)
+    }
+
+    /// Input resolution (images are resized to `input_size × input_size`).
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Length of the extracted feature vector.
+    pub fn feature_len(&self) -> usize {
+        self.feature_len
+    }
+
+    /// Extracts the embedding for an image.
+    ///
+    /// Pixels are log-compressed against a *fixed* reference level,
+    /// `ln(1 + p/p₀)`, then resized to the input resolution. Echo
+    /// energies span orders of magnitude, so compression is needed — but
+    /// the reference is fixed (not per-image), keeping the embedding
+    /// sensitive to absolute echo strength. That sensitivity is what
+    /// the paper's inverse-square augmentation (§V-F) manipulates; a
+    /// per-image normalisation would silently make features
+    /// distance-invariant and the augmentation a no-op.
+    pub fn extract(&self, image: &GrayImage) -> Vec<f64> {
+        let compressed = GrayImage::from_fn(image.width(), image.height(), |x, y| {
+            (1.0 + image.get(x, y).max(0.0) / PIXEL_REFERENCE).ln()
+        });
+        let resized = compressed.resize(self.input_size, self.input_size);
+        let mut m = FeatureMap::from_image(&resized);
+        for layer in &self.layers {
+            m = layer.forward(&m);
+            m = max_pool_2x2(&m);
+        }
+        debug_assert_eq!(m.data.len(), self.feature_len);
+        m.into_vec()
+    }
+}
+
+/// Fixed pixel reference level for log compression (in acoustic-image
+/// pixel units — roughly the noise-floor pixel energy of the simulated
+/// scenes).
+pub const PIXEL_REFERENCE: f64 = 0.05;
+
+fn randn(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extractor_is_deterministic() {
+        let a = FeatureExtractor::paper_default();
+        let b = FeatureExtractor::paper_default();
+        let img = GrayImage::from_fn(40, 40, |x, y| (x as f64 - y as f64).sin());
+        assert_eq!(a.extract(&img), b.extract(&img));
+    }
+
+    #[test]
+    fn different_seeds_give_different_features() {
+        let a = FeatureExtractor::new(32, &[8, 16], 1);
+        let b = FeatureExtractor::new(32, &[8, 16], 2);
+        let img = GrayImage::from_fn(32, 32, |x, y| (x * y) as f64);
+        assert_ne!(a.extract(&img), b.extract(&img));
+    }
+
+    #[test]
+    fn feature_length_matches_architecture() {
+        let fx = FeatureExtractor::new(32, &[8, 16, 32], 0);
+        assert_eq!(fx.feature_len(), 4 * 4 * 32);
+        let f = fx.extract(&GrayImage::zeros(32, 32));
+        assert_eq!(f.len(), 512);
+        let fx2 = FeatureExtractor::new(64, &[4], 0);
+        assert_eq!(fx2.feature_len(), 32 * 32 * 4);
+    }
+
+    #[test]
+    fn relu_makes_features_nonnegative() {
+        let fx = FeatureExtractor::paper_default();
+        let img = GrayImage::from_fn(32, 32, |x, y| ((x * 13 + y * 7) % 11) as f64 - 5.0);
+        let f = fx.extract(&img);
+        assert!(f.iter().all(|&v| v >= 0.0));
+        assert!(f.iter().any(|&v| v > 0.0), "all-dead features");
+    }
+
+    #[test]
+    fn similar_images_have_similar_features() {
+        let fx = FeatureExtractor::paper_default();
+        let base = GrayImage::from_fn(32, 32, |x, y| ((x + y) % 9) as f64);
+        let mut close = base.clone();
+        close.set(5, 5, close.get(5, 5) + 0.01);
+        let far = GrayImage::from_fn(32, 32, |x, y| ((x * y) % 5) as f64);
+
+        let d = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let fb = fx.extract(&base);
+        let fc = fx.extract(&close);
+        let ff = fx.extract(&far);
+        assert!(d(&fb, &fc) < d(&fb, &ff) * 0.2);
+    }
+
+    #[test]
+    fn features_are_amplitude_sensitive() {
+        // The §V-F augmentation manipulates absolute pixel energy, so
+        // the embedding must NOT be scale-invariant.
+        let fx = FeatureExtractor::paper_default();
+        let img = GrayImage::from_fn(32, 32, |x, y| 0.2 + ((x + y) % 7) as f64 * 0.1);
+        let brighter = GrayImage::from_fn(32, 32, |x, y| 4.0 * (0.2 + ((x + y) % 7) as f64 * 0.1));
+        let fa = fx.extract(&img);
+        let fb = fx.extract(&brighter);
+        let diff: f64 = fa.iter().zip(&fb).map(|(a, b)| (a - b).abs()).sum();
+        assert!(
+            diff > 1.0,
+            "embedding ignored a 4x amplitude change: {diff}"
+        );
+    }
+
+    #[test]
+    fn images_are_resized_to_input() {
+        let fx = FeatureExtractor::paper_default();
+        let small = GrayImage::from_fn(10, 10, |x, _| x as f64);
+        let large = GrayImage::from_fn(100, 100, |x, _| x as f64 / 10.0);
+        assert_eq!(fx.extract(&small).len(), fx.feature_len());
+        assert_eq!(fx.extract(&large).len(), fx.feature_len());
+    }
+
+    #[test]
+    fn conv_layer_detects_structure() {
+        // A conv stage must respond differently to flat vs textured input.
+        let fx = FeatureExtractor::new(16, &[8], 3);
+        let flat = GrayImage::from_fn(16, 16, |_, _| 1.0);
+        let tex = GrayImage::from_fn(16, 16, |x, y| ((x ^ y) & 1) as f64);
+        let ff = fx.extract(&flat);
+        let ft = fx.extract(&tex);
+        assert_ne!(ff, ft);
+    }
+
+    #[test]
+    fn max_pool_halves_and_takes_maxima() {
+        let mut m = FeatureMap::zeros(4, 4, 1);
+        m.set(0, 0, 0, 5.0);
+        m.set(3, 3, 0, 7.0);
+        let p = max_pool_2x2(&m);
+        assert_eq!(p.height(), 2);
+        assert_eq!(p.width(), 2);
+        assert_eq!(p.get(0, 0, 0), 5.0);
+        assert_eq!(p.get(1, 1, 0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn too_many_pools_rejected() {
+        let _ = FeatureExtractor::new(8, &[4, 4, 4, 4], 0);
+    }
+}

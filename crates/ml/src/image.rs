@@ -1,0 +1,275 @@
+//! Grayscale images and resizing.
+//!
+//! Acoustic images (one intensity per imaging-plane grid cell) are
+//! resized to the CNN's input resolution before feature extraction, just
+//! as the paper resizes its images to match VGGish's input (§V-D).
+
+/// A row-major grayscale image of `f64` intensities.
+///
+/// # Example
+///
+/// ```
+/// use echo_ml::GrayImage;
+///
+/// let img = GrayImage::from_fn(4, 3, |x, y| (x + y) as f64);
+/// assert_eq!(img.get(3, 2), 5.0);
+/// let up = img.resize(8, 6);
+/// assert_eq!(up.width(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<f64>,
+}
+
+impl GrayImage {
+    /// An all-zero image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        GrayImage {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Builds an image from a function of `(x, y)`.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut img = GrayImage::zeros(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.set(x, y, f(x, y));
+            }
+        }
+        img
+    }
+
+    /// Wraps row-major pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height` or a dimension is zero.
+    pub fn from_data(width: usize, height: usize, data: Vec<f64>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        assert_eq!(data.len(), width * height, "pixel count mismatch");
+        GrayImage {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f64) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Raw row-major pixels.
+    pub fn pixels(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw pixels.
+    pub fn pixels_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Bilinear resize to `new_width × new_height`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either target dimension is zero.
+    pub fn resize(&self, new_width: usize, new_height: usize) -> GrayImage {
+        assert!(
+            new_width > 0 && new_height > 0,
+            "image dimensions must be positive"
+        );
+        if new_width == self.width && new_height == self.height {
+            return self.clone();
+        }
+        let mut out = GrayImage::zeros(new_width, new_height);
+        let sx = self.width as f64 / new_width as f64;
+        let sy = self.height as f64 / new_height as f64;
+        for y in 0..new_height {
+            // Sample at pixel centres.
+            let fy = ((y as f64 + 0.5) * sy - 0.5).clamp(0.0, (self.height - 1) as f64);
+            let y0 = fy.floor() as usize;
+            let y1 = (y0 + 1).min(self.height - 1);
+            let wy = fy - y0 as f64;
+            for x in 0..new_width {
+                let fx = ((x as f64 + 0.5) * sx - 0.5).clamp(0.0, (self.width - 1) as f64);
+                let x0 = fx.floor() as usize;
+                let x1 = (x0 + 1).min(self.width - 1);
+                let wx = fx - x0 as f64;
+                let v = self.get(x0, y0) * (1.0 - wx) * (1.0 - wy)
+                    + self.get(x1, y0) * wx * (1.0 - wy)
+                    + self.get(x0, y1) * (1.0 - wx) * wy
+                    + self.get(x1, y1) * wx * wy;
+                out.set(x, y, v);
+            }
+        }
+        out
+    }
+
+    /// Min–max normalises pixel values to `[0, 1]` in place; a constant
+    /// image becomes all zeros.
+    pub fn normalize(&mut self) {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let span = hi - lo;
+        if span <= 0.0 || !span.is_finite() {
+            self.data.iter_mut().for_each(|v| *v = 0.0);
+            return;
+        }
+        self.data.iter_mut().for_each(|v| *v = (*v - lo) / span);
+    }
+
+    /// Mean pixel intensity.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Box blur with the given radius (window `2r+1`); edges use the
+    /// available window. Radius 0 returns a copy.
+    pub fn box_blur(&self, radius: usize) -> GrayImage {
+        if radius == 0 {
+            return self.clone();
+        }
+        let r = radius as isize;
+        GrayImage::from_fn(self.width, self.height, |x, y| {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let nx = x as isize + dx;
+                    let ny = y as isize + dy;
+                    if nx >= 0
+                        && ny >= 0
+                        && (nx as usize) < self.width
+                        && (ny as usize) < self.height
+                    {
+                        sum += self.get(nx as usize, ny as usize);
+                        count += 1;
+                    }
+                }
+            }
+            sum / count as f64
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut img = GrayImage::zeros(3, 2);
+        img.set(2, 1, 5.0);
+        assert_eq!(img.get(2, 1), 5.0);
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.pixels().len(), 6);
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (y * 10 + x) as f64);
+        assert_eq!(img.pixels(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn resize_identity_is_noop() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (x * y) as f64);
+        assert_eq!(img.resize(4, 4), img);
+    }
+
+    #[test]
+    fn resize_constant_image_stays_constant() {
+        let img = GrayImage::from_fn(5, 5, |_, _| 3.0);
+        let r = img.resize(9, 7);
+        assert!(r.pixels().iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn downsample_averages_gradient() {
+        // A horizontal ramp keeps its mean under resizing.
+        let img = GrayImage::from_fn(16, 16, |x, _| x as f64);
+        let small = img.resize(4, 4);
+        assert!((small.mean() - img.mean()).abs() < 0.6);
+        // Monotone along x.
+        for y in 0..4 {
+            for x in 1..4 {
+                assert!(small.get(x, y) > small.get(x - 1, y));
+            }
+        }
+    }
+
+    #[test]
+    fn upsample_interpolates_between_pixels() {
+        let img = GrayImage::from_data(2, 1, vec![0.0, 10.0]);
+        let up = img.resize(4, 1);
+        assert!(up.get(0, 0) < up.get(1, 0));
+        assert!(up.get(1, 0) < up.get(2, 0));
+        assert!(up.get(2, 0) < up.get(3, 0));
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_range() {
+        let mut img = GrayImage::from_data(2, 2, vec![2.0, 4.0, 6.0, 10.0]);
+        img.normalize();
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(1, 1), 1.0);
+        let mut flat = GrayImage::from_fn(2, 2, |_, _| 7.0);
+        flat.normalize();
+        assert!(flat.pixels().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        let img = GrayImage::zeros(2, 2);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count")]
+    fn bad_data_length_panics() {
+        let _ = GrayImage::from_data(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Platt scaling: calibrating SVM decision values into probabilities.
+//!
+//! Fits `P(y=+1 | f) = 1 / (1 + exp(A·f + B))` to held-out decision
+//! values by regularised maximum likelihood (Platt 1999, with the
+//! Lin–Weng–Keerthi target smoothing), so downstream policy can reason
+//! about authentication *confidence* instead of a hard sign.
+
+/// A fitted sigmoid calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PlattScaler {
+    /// Sigmoid slope (negative for well-oriented decision values).
+    pub a: f64,
+    /// Sigmoid offset.
+    pub b: f64,
+}
+
+impl PlattScaler {
+    /// Fits the sigmoid on `(decision_value, is_positive)` pairs with
+    /// Newton iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples are given or a class is missing.
+    pub fn fit(scores: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(scores.len(), labels.len(), "score/label count mismatch");
+        assert!(!scores.is_empty(), "need calibration samples");
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        let n_neg = labels.len() - n_pos;
+        assert!(n_pos > 0 && n_neg > 0, "need both classes for calibration");
+
+        // Smoothed targets (avoid log(0)).
+        let t_pos = (n_pos as f64 + 1.0) / (n_pos as f64 + 2.0);
+        let t_neg = 1.0 / (n_neg as f64 + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l { t_pos } else { t_neg })
+            .collect();
+
+        // Newton's method on (A, B).
+        let mut a = 0.0f64;
+        let mut b = ((n_neg as f64 + 1.0) / (n_pos as f64 + 1.0)).ln();
+        for _ in 0..100 {
+            let (mut g_a, mut g_b) = (0.0f64, 0.0f64);
+            let (mut h_aa, mut h_ab, mut h_bb) = (1e-12f64, 0.0f64, 1e-12f64);
+            for (&f, &t) in scores.iter().zip(targets.iter()) {
+                let z = a * f + b;
+                // p = 1/(1+e^z); stable both tails.
+                let p = if z >= 0.0 {
+                    let e = (-z).exp();
+                    e / (1.0 + e)
+                } else {
+                    1.0 / (1.0 + z.exp())
+                };
+                let d = t - p; // ∂ℓ/∂z of the negative log-likelihood
+                g_a += f * d;
+                g_b += d;
+                let w = p * (1.0 - p);
+                h_aa += f * f * w;
+                h_ab += f * w;
+                h_bb += w;
+            }
+            // Solve the 2×2 Newton system.
+            let det = h_aa * h_bb - h_ab * h_ab;
+            if det.abs() < 1e-300 {
+                break;
+            }
+            let da = (h_bb * g_a - h_ab * g_b) / det;
+            let db = (h_aa * g_b - h_ab * g_a) / det;
+            a -= da;
+            b -= db;
+            if da.abs() < 1e-10 && db.abs() < 1e-10 {
+                break;
+            }
+        }
+        PlattScaler { a, b }
+    }
+
+    /// The calibrated probability that a sample with decision value `f`
+    /// is positive.
+    pub fn probability(&self, f: f64) -> f64 {
+        let z = self.a * f + self.b;
+        if z >= 0.0 {
+            let e = (-z).exp();
+            e / (1.0 + e)
+        } else {
+            1.0 / (1.0 + z.exp())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (Vec<f64>, Vec<bool>) {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let jitter = (i % 7) as f64 * 0.05;
+            scores.push(1.0 + jitter);
+            labels.push(true);
+            scores.push(-1.0 - jitter);
+            labels.push(false);
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn probabilities_are_oriented_and_bounded() {
+        let (s, l) = separable();
+        let p = PlattScaler::fit(&s, &l);
+        assert!(p.probability(2.0) > 0.9);
+        assert!(p.probability(-2.0) < 0.1);
+        for f in [-5.0, -1.0, 0.0, 1.0, 5.0] {
+            let pr = p.probability(f);
+            assert!((0.0..=1.0).contains(&pr));
+        }
+    }
+
+    #[test]
+    fn probability_is_monotone_in_score() {
+        let (s, l) = separable();
+        let p = PlattScaler::fit(&s, &l);
+        let mut last = 0.0;
+        for i in -10..=10 {
+            let pr = p.probability(i as f64 * 0.5);
+            assert!(pr >= last - 1e-12, "non-monotone at {i}");
+            last = pr;
+        }
+    }
+
+    #[test]
+    fn decision_boundary_probability_is_near_half() {
+        let (s, l) = separable();
+        let p = PlattScaler::fit(&s, &l);
+        let pr = p.probability(0.0);
+        assert!((pr - 0.5).abs() < 0.1, "p(0) = {pr}");
+    }
+
+    #[test]
+    fn overlapping_classes_yield_soft_probabilities() {
+        // Heavy overlap: probabilities must stay away from 0/1 in the
+        // overlap region.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            let x = (i as f64 / 50.0 - 0.5) * 4.0;
+            scores.push(x + 0.3);
+            labels.push(true);
+            scores.push(x - 0.3);
+            labels.push(false);
+        }
+        let p = PlattScaler::fit(&scores, &labels);
+        let mid = p.probability(0.0);
+        assert!(mid > 0.25 && mid < 0.75, "overlap p(0) = {mid}");
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_panics() {
+        let _ = PlattScaler::fit(&[1.0, 2.0], &[true, true]);
+    }
+}

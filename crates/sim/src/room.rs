@@ -1,0 +1,276 @@
+//! Environment presets: static reflectors around the array.
+//!
+//! The paper evaluates in a laboratory room, a conference hall and an
+//! outdoor place (§VI-A-1). Each preset populates the scene with static
+//! clutter — walls, furniture, ground — whose echoes are the multipath
+//! the beamforming/time-gating pipeline must reject.
+
+use crate::body::Scatterer;
+use echo_array::Vec3;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The three experiment environments of the paper (Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EnvironmentKind {
+    /// A laboratory room: near walls, dense furniture clutter.
+    Laboratory,
+    /// A conference hall: distant walls, sparse clutter, long echoes.
+    ConferenceHall,
+    /// Outdoors: no walls, ground reflection only.
+    Outdoor,
+}
+
+impl EnvironmentKind {
+    /// All environments, in the paper's presentation order.
+    pub fn all() -> [EnvironmentKind; 3] {
+        [
+            EnvironmentKind::Laboratory,
+            EnvironmentKind::ConferenceHall,
+            EnvironmentKind::Outdoor,
+        ]
+    }
+
+    /// Human-readable label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnvironmentKind::Laboratory => "laboratory",
+            EnvironmentKind::ConferenceHall => "conference hall",
+            EnvironmentKind::Outdoor => "outdoor",
+        }
+    }
+}
+
+/// A concrete environment: a set of static reflectors in array
+/// coordinates.
+///
+/// # Example
+///
+/// ```
+/// use echo_sim::room::{Environment, EnvironmentKind};
+///
+/// let lab = Environment::generate(EnvironmentKind::Laboratory, 1);
+/// assert!(!lab.reflectors().is_empty());
+/// // The space directly in front of the array is kept clear for the user.
+/// for r in lab.reflectors() {
+///     let p = r.position;
+///     assert!(!(p.x.abs() < 0.5 && p.y > 0.2 && p.y < 1.8 && p.z.abs() < 0.8));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Environment {
+    kind: EnvironmentKind,
+    reflectors: Vec<Scatterer>,
+}
+
+impl Environment {
+    /// Generates the reflector layout for `kind`, deterministically in
+    /// `seed`.
+    ///
+    /// The user's standing corridor (|x| < 0.5 m, 0.2 m < y < 1.8 m,
+    /// |z| < 0.8 m) is kept free of clutter so the scene stays physically
+    /// consistent with a person standing in front of the device.
+    pub fn generate(kind: EnvironmentKind, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x2007_0000_0000);
+        let mut reflectors = Vec::new();
+
+        let add_wall = |rng: &mut ChaCha8Rng,
+                        reflectors: &mut Vec<Scatterer>,
+                        center: Vec3,
+                        span_x: f64,
+                        span_z: f64,
+                        refl_total: f64| {
+            let points = 24;
+            for _ in 0..points {
+                let dx = rng.gen_range(-span_x / 2.0..span_x / 2.0);
+                let dz = rng.gen_range(-span_z / 2.0..span_z / 2.0);
+                reflectors.push(Scatterer {
+                    position: Vec3::new(center.x + dx, center.y, center.z + dz),
+                    reflectivity: refl_total / points as f64 * rng.gen_range(0.5..1.5),
+                });
+            }
+        };
+
+        let add_clutter = |rng: &mut ChaCha8Rng,
+                           reflectors: &mut Vec<Scatterer>,
+                           count: usize,
+                           y_range: (f64, f64)| {
+            let mut placed = 0;
+            while placed < count {
+                let x: f64 = rng.gen_range(-3.0..3.0);
+                let y = rng.gen_range(y_range.0..y_range.1);
+                let z: f64 = rng.gen_range(-0.9..0.9);
+                // Keep the user's corridor clear.
+                if x.abs() < 0.5 && y > 0.2 && y < 1.8 && z.abs() < 0.8 {
+                    continue;
+                }
+                reflectors.push(Scatterer {
+                    position: Vec3::new(x, y, z),
+                    reflectivity: rng.gen_range(0.005..0.04),
+                });
+                placed += 1;
+            }
+        };
+
+        match kind {
+            EnvironmentKind::Laboratory => {
+                // Near walls: behind the user (~3 m), side walls (~2 m),
+                // behind the device (~1 m).
+                add_wall(
+                    &mut rng,
+                    &mut reflectors,
+                    Vec3::new(0.0, 3.0, 0.0),
+                    4.0,
+                    2.0,
+                    0.5,
+                );
+                add_wall(
+                    &mut rng,
+                    &mut reflectors,
+                    Vec3::new(-2.0, 1.5, 0.0),
+                    0.1,
+                    2.0,
+                    0.3,
+                );
+                add_wall(
+                    &mut rng,
+                    &mut reflectors,
+                    Vec3::new(2.0, 1.5, 0.0),
+                    0.1,
+                    2.0,
+                    0.3,
+                );
+                add_wall(
+                    &mut rng,
+                    &mut reflectors,
+                    Vec3::new(0.0, -1.0, 0.0),
+                    4.0,
+                    2.0,
+                    0.3,
+                );
+                add_clutter(&mut rng, &mut reflectors, 10, (0.8, 2.8));
+            }
+            EnvironmentKind::ConferenceHall => {
+                // Distant walls, high ceiling, sparse furniture.
+                add_wall(
+                    &mut rng,
+                    &mut reflectors,
+                    Vec3::new(0.0, 8.0, 0.0),
+                    12.0,
+                    4.0,
+                    0.6,
+                );
+                add_wall(
+                    &mut rng,
+                    &mut reflectors,
+                    Vec3::new(-6.0, 3.0, 0.0),
+                    0.1,
+                    4.0,
+                    0.4,
+                );
+                add_wall(
+                    &mut rng,
+                    &mut reflectors,
+                    Vec3::new(6.0, 3.0, 0.0),
+                    0.1,
+                    4.0,
+                    0.4,
+                );
+                add_clutter(&mut rng, &mut reflectors, 5, (2.0, 6.0));
+            }
+            EnvironmentKind::Outdoor => {
+                // Only the ground plane scatters back (array on a table).
+                add_wall(
+                    &mut rng,
+                    &mut reflectors,
+                    Vec3::new(0.0, 1.0, -0.9),
+                    3.0,
+                    0.05,
+                    0.15,
+                );
+            }
+        }
+
+        Environment { kind, reflectors }
+    }
+
+    /// The environment kind.
+    pub fn kind(&self) -> EnvironmentKind {
+        self.kind
+    }
+
+    /// The static reflectors.
+    pub fn reflectors(&self) -> &[Scatterer] {
+        &self.reflectors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Environment::generate(EnvironmentKind::Laboratory, 9);
+        let b = Environment::generate(EnvironmentKind::Laboratory, 9);
+        assert_eq!(a, b);
+        let c = Environment::generate(EnvironmentKind::Laboratory, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn laboratory_is_most_cluttered() {
+        let lab = Environment::generate(EnvironmentKind::Laboratory, 1);
+        let hall = Environment::generate(EnvironmentKind::ConferenceHall, 1);
+        let out = Environment::generate(EnvironmentKind::Outdoor, 1);
+        assert!(lab.reflectors().len() > hall.reflectors().len());
+        assert!(hall.reflectors().len() > out.reflectors().len());
+    }
+
+    #[test]
+    fn user_corridor_stays_clear() {
+        for kind in EnvironmentKind::all() {
+            for seed in 0..5 {
+                let env = Environment::generate(kind, seed);
+                for r in env.reflectors() {
+                    let p = r.position;
+                    let in_corridor = p.x.abs() < 0.5 && p.y > 0.2 && p.y < 1.8 && p.z.abs() < 0.8;
+                    assert!(!in_corridor, "{kind:?} seed {seed}: reflector at {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outdoor_reflectors_are_ground_level() {
+        let out = Environment::generate(EnvironmentKind::Outdoor, 3);
+        for r in out.reflectors() {
+            assert!(
+                r.position.z < -0.8,
+                "outdoor reflector not on ground: {:?}",
+                r.position
+            );
+        }
+    }
+
+    #[test]
+    fn hall_walls_are_distant() {
+        let hall = Environment::generate(EnvironmentKind::ConferenceHall, 4);
+        let min_dist = hall
+            .reflectors()
+            .iter()
+            .map(|r| r.position.norm())
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_dist > 1.9, "nearest hall reflector at {min_dist} m");
+    }
+
+    #[test]
+    fn reflectivities_are_positive() {
+        for kind in EnvironmentKind::all() {
+            let env = Environment::generate(kind, 0);
+            assert!(env.reflectors().iter().all(|r| r.reflectivity > 0.0));
+        }
+    }
+}

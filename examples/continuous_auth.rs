@@ -1,0 +1,58 @@
+//! Continuous authentication: the speaker probes every 0.5 s while the
+//! user interacts, and a quorum-over-window fusion policy keeps a live
+//! verdict — including the moment an impostor takes the user's place.
+//!
+//! Run with `cargo run --release --example continuous_auth`.
+
+use echoimage::core::auth::{AuthConfig, Authenticator};
+use echoimage::core::enrollment::{enrollment_features, EnrollmentConfig};
+use echoimage::core::fusion::{AuthStream, FusedDecision, FusionPolicy};
+use echoimage::core::pipeline::{EchoImagePipeline, PipelineConfig};
+use echoimage::sim::{BodyModel, Placement, Scene, SceneConfig};
+
+fn main() {
+    let scene = Scene::new(SceneConfig::laboratory_quiet(4));
+    let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+    let placement = Placement::standing_front(0.7);
+
+    // Enrolment.
+    let alice = BodyModel::from_seed(12);
+    let visits: Vec<_> = (0..3u32)
+        .map(|v| scene.capture_train(&alice, &placement, v, 6, v as u64 * 1_000))
+        .collect();
+    let features = enrollment_features(&pipeline, &visits, &EnrollmentConfig::default())
+        .expect("enrolment failed");
+    let auth =
+        Authenticator::enroll(&[(1, features)], &AuthConfig::default()).expect("enrol failed");
+    println!("alice enrolled; starting continuous probing (3-of-5 fusion)…\n");
+
+    // A session: alice speaks for 8 beeps, then mallory shoves her aside.
+    let mallory = BodyModel::from_seed(1200);
+    let mut stream = AuthStream::new(FusionPolicy::default_3_of_5());
+    for beep in 0..16u64 {
+        let (who, body): (&str, &BodyModel) = if beep < 8 {
+            ("alice", &alice)
+        } else {
+            ("mallory", &mallory)
+        };
+        let cap = scene.capture_beep(body, &placement, 9, 70_000 + beep);
+        let decision = match pipeline.features_from_train(std::slice::from_ref(&cap)) {
+            Ok(feats) => auth.authenticate(&feats[0]),
+            Err(_) => echoimage::core::AuthDecision::Rejected,
+        };
+        let fused = stream.push(decision);
+        let verdict = match fused {
+            FusedDecision::Accepted { user_id, votes } => {
+                format!("ACCEPTED user {user_id} ({votes}/5 votes)")
+            }
+            FusedDecision::Undecided => "undecided (warming up)".to_string(),
+            FusedDecision::Rejected => "REJECTED".to_string(),
+        };
+        println!(
+            "t = {:>4.1} s  [{who:<7} at the mic]  fused: {verdict}",
+            beep as f64 * 0.5
+        );
+    }
+    println!("\nthe fused verdict flips to REJECTED a few beeps after the swap —");
+    println!("the window must drain alice's votes before mallory is exposed.");
+}

@@ -1,0 +1,55 @@
+//! Environment robustness demo: the same small household authenticates
+//! in a laboratory, a conference hall and outdoors while music, chatter
+//! or traffic noise plays (the paper's Fig. 12 scenario as a
+//! walkthrough), using the evaluation harness's production enrolment
+//! protocol.
+//!
+//! Run with `cargo run --release --example noisy_environments`.
+
+use echoimage::eval::experiments::protocol::{enroll, evaluate, ProtocolConfig};
+use echoimage::eval::harness::{CaptureSpec, Harness};
+use echoimage::sim::{EnvironmentKind, NoiseKind, Population};
+
+fn main() {
+    let population = Population::generate(4, 3, 21);
+    let registered: Vec<_> = population.registered().collect();
+    let spoofers: Vec<_> = population.spoofers().collect();
+    let proto = ProtocolConfig {
+        train_beeps: 24,
+        test_beeps: 4,
+        test_sessions: vec![0],
+        ..ProtocolConfig::default()
+    };
+
+    for env in EnvironmentKind::all() {
+        println!("— {} —", env.label());
+        let harness = Harness::new(21 ^ (env as u64 + 1) << 8);
+
+        // Enrol quietly in this environment (the paper's protocol), then
+        // authenticate under every ambient-noise condition.
+        let train_spec = CaptureSpec {
+            environment: env,
+            noise: NoiseKind::Quiet,
+            ..CaptureSpec::default_lab(0)
+        };
+        let auth = enroll(&harness, &registered, &train_spec, &proto).expect("enrolment failed");
+
+        for noise in NoiseKind::all() {
+            let test_spec = CaptureSpec {
+                environment: env,
+                noise,
+                ..CaptureSpec::default_lab(0)
+            };
+            let cm = evaluate(&harness, &auth, &registered, &spoofers, &test_spec, &proto);
+            let m = cm.metrics();
+            println!(
+                "  {:<8} genuine recall {:.2}, spoofer detection {:.2}, accuracy {:.2}",
+                noise.label(),
+                m.recall,
+                cm.spoofer_detection_rate(),
+                m.accuracy
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: enrol one user on a simulated smart speaker and
+//! authenticate genuine attempts against a spoofer.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use echoimage::core::auth::{AuthConfig, Authenticator};
+use echoimage::core::pipeline::{EchoImagePipeline, PipelineConfig};
+use echoimage::sim::{BodyModel, Placement, Scene, SceneConfig};
+
+fn main() {
+    // A quiet laboratory with a ReSpeaker-like 6-microphone smart speaker.
+    let scene = Scene::new(SceneConfig::laboratory_quiet(7));
+    let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+
+    // Alice registers: she stands 0.7 m in front of the device while it
+    // probes her with a few 2–3 kHz beeps.
+    let alice = BodyModel::from_seed(1);
+    let placement = Placement::standing_front(0.7);
+    println!("enrolling alice (simulated body, seed 1)…");
+    // Two short registration visits, run through the production
+    // enrolment recipe (plane diversity + §V-F augmentation).
+    use echoimage::core::enrollment::{enrollment_features, EnrollmentConfig};
+    let visits: Vec<_> = (0..2u32)
+        .map(|v| scene.capture_train(&alice, &placement, v, 6, v as u64 * 1_000))
+        .collect();
+    let features = enrollment_features(&pipeline, &visits, &EnrollmentConfig::default())
+        .expect("enrolment failed");
+    println!(
+        "  captured {} beeps over {} visits → {} enrolment features of length {}",
+        visits.iter().map(Vec::len).sum::<usize>(),
+        visits.len(),
+        features.len(),
+        features[0].len()
+    );
+    let auth =
+        Authenticator::enroll(&[(1, features)], &AuthConfig::default()).expect("enrolment failed");
+
+    // Later: Alice walks up again (fresh noise, fresh posture).
+    println!("\nalice returns and asks the speaker to transfer money…");
+    let attempt = scene.capture_train(&alice, &placement, 0, 4, 500);
+    let estimate = pipeline
+        .estimate_distance(&attempt)
+        .expect("ranging failed");
+    println!(
+        "  distance estimate: {:.2} m (true 0.70 m)",
+        estimate.horizontal_distance
+    );
+    let probes = pipeline
+        .features_from_train(&attempt)
+        .expect("capture failed");
+    let accepted = probes
+        .iter()
+        .filter(|f| auth.authenticate(f).is_accepted())
+        .count();
+    println!(
+        "  {accepted}/{} probe beeps accepted → access granted",
+        probes.len()
+    );
+
+    // A burglar tries the same command.
+    println!("\na stranger tries the same command…");
+    let mallory = BodyModel::from_seed(666);
+    let attack = scene.capture_train(&mallory, &placement, 0, 4, 900);
+    let probes = pipeline
+        .features_from_train(&attack)
+        .expect("capture failed");
+    let accepted = probes
+        .iter()
+        .filter(|f| auth.authenticate(f).is_accepted())
+        .count();
+    println!(
+        "  {accepted}/{} probe beeps accepted → {}",
+        probes.len(),
+        if accepted == 0 {
+            "attack rejected"
+        } else {
+            "attack partially succeeded"
+        }
+    );
+}

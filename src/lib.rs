@@ -1,0 +1,54 @@
+//! # EchoImage
+//!
+//! A Rust reproduction of **"EchoImage: User Authentication on Smart
+//! Speakers Using Acoustic Signals"** (Ren et al., ICDCS 2023).
+//!
+//! EchoImage authenticates smart-speaker users without passwords,
+//! cameras or wearables: the speaker emits a short 2–3 kHz chirp, its
+//! microphone array records the echoes bouncing off the user's body,
+//! MVDR beamforming turns those echoes into an *acoustic image*, and an
+//! SVM cascade decides who (if anyone) is standing there.
+//!
+//! This crate is a facade re-exporting the workspace's layers:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`dsp`] | `echo-dsp` | FFT, chirps, Butterworth filters, Hilbert, matched filter |
+//! | [`mod@array`] | `echo-array` | microphone-array geometry and steering |
+//! | [`sim`] | `echo-sim` | acoustic scene simulator (bodies, rooms, noise) |
+//! | [`beamform`] | `echo-beamform` | delay-and-sum and MVDR beamforming |
+//! | [`ml`] | `echo-ml` | frozen CNN features, SVM (SMO), one-class SVM |
+//! | [`core`] | `echoimage-core` | the paper's pipeline: ranging, imaging, augmentation, authentication |
+//! | [`eval`] | `echo-eval` | metrics and the runners for every paper figure |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use echoimage::sim::{BodyModel, Placement, Scene, SceneConfig};
+//! use echoimage::core::pipeline::{EchoImagePipeline, PipelineConfig};
+//! use echoimage::core::auth::{AuthConfig, Authenticator};
+//!
+//! // A simulated user stands 0.7 m in front of a smart speaker.
+//! let scene = Scene::new(SceneConfig::laboratory_quiet(7));
+//! let alice = BodyModel::from_seed(1);
+//! let placement = Placement::standing_front(0.7);
+//!
+//! // Enrol: capture a few beeps, build acoustic images, extract features.
+//! let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+//! let enrolment = scene.capture_train(&alice, &placement, 0, 6, 0);
+//! let features = pipeline.features_from_train(&enrolment).unwrap();
+//! let auth = Authenticator::enroll(&[(1, features)], &AuthConfig::default()).unwrap();
+//!
+//! // Authenticate a fresh capture of the same user.
+//! let attempt = scene.capture_train(&alice, &placement, 0, 2, 100);
+//! let probe = pipeline.features_from_train(&attempt).unwrap();
+//! assert!(auth.authenticate(&probe[0]).is_accepted());
+//! ```
+
+pub use echo_array as array;
+pub use echo_beamform as beamform;
+pub use echo_dsp as dsp;
+pub use echo_eval as eval;
+pub use echo_ml as ml;
+pub use echo_sim as sim;
+pub use echoimage_core as core;

@@ -1,0 +1,140 @@
+//! End-to-end integration: simulate users → capture beeps → range →
+//! image → features → enrol → authenticate, across crates.
+//!
+//! Sizes are kept small (tiny imaging grid, few beeps) so the suite
+//! stays fast in debug builds; the full-scale versions are the
+//! `echo-bench` figure binaries.
+
+use echoimage::core::auth::{AuthConfig, Authenticator};
+use echoimage::core::config::ImagingConfig;
+use echoimage::core::pipeline::{EchoImagePipeline, PipelineConfig};
+use echoimage::sim::{BodyModel, Placement, Scene, SceneConfig};
+
+fn small_pipeline() -> EchoImagePipeline {
+    let mut cfg = PipelineConfig::default();
+    cfg.imaging = ImagingConfig {
+        grid_n: 16,
+        grid_spacing: 0.1,
+        ..ImagingConfig::default()
+    };
+    EchoImagePipeline::new(cfg)
+}
+
+/// Multi-visit enrolment using the production recipe
+/// (`echoimage_core::enrollment`).
+fn enrol_features(
+    scene: &Scene,
+    pipeline: &EchoImagePipeline,
+    body: &BodyModel,
+    visits: u32,
+    beeps: usize,
+) -> Vec<Vec<f64>> {
+    use echoimage::core::enrollment::{enrollment_features, EnrollmentConfig};
+    let placement = Placement::standing_front(0.7);
+    let trains: Vec<_> = (0..visits)
+        .map(|v| scene.capture_train(body, &placement, v, beeps, v as u64 * 1_000))
+        .collect();
+    enrollment_features(pipeline, &trains, &EnrollmentConfig::default()).expect("enrolment failed")
+}
+
+#[test]
+fn two_user_enrolment_and_authentication() {
+    let scene = Scene::new(SceneConfig::laboratory_quiet(5));
+    let pipeline = small_pipeline();
+    let alice = BodyModel::from_seed(1);
+    let bob = BodyModel::from_seed(2);
+    let eve = BodyModel::from_seed(99);
+
+    let auth = Authenticator::enroll(
+        &[
+            (1, enrol_features(&scene, &pipeline, &alice, 2, 4)),
+            (2, enrol_features(&scene, &pipeline, &bob, 2, 4)),
+        ],
+        &AuthConfig::default(),
+    )
+    .expect("enrolment failed");
+
+    let placement = Placement::standing_front(0.7);
+    let probe = |body: &BodyModel, salt: u64| {
+        let caps = scene.capture_train(body, &placement, 9, 3, 50_000 + salt);
+        pipeline.features_from_train(&caps).expect("probe failed")
+    };
+
+    // Genuine users: the majority of probe beeps must authenticate as
+    // themselves.
+    for (body, id) in [(&alice, 1usize), (&bob, 2)] {
+        let feats = probe(body, id as u64 * 777);
+        let correct = feats
+            .iter()
+            .filter(|f| auth.authenticate(f).user_id() == Some(id))
+            .count();
+        let wrong_user = feats
+            .iter()
+            .filter(|f| auth.authenticate(f).user_id().is_some_and(|u| u != id))
+            .count();
+        assert!(
+            correct * 2 >= feats.len(),
+            "user {id}: only {correct}/{} probes accepted as self",
+            feats.len()
+        );
+        assert_eq!(wrong_user, 0, "user {id} misattributed");
+    }
+
+    // The spoofer: the majority of probes must be rejected.
+    let feats = probe(&eve, 31_337);
+    let rejected = feats
+        .iter()
+        .filter(|f| !auth.authenticate(f).is_accepted())
+        .count();
+    assert!(
+        rejected * 2 >= feats.len(),
+        "spoofer accepted too often: {}/{} rejected",
+        rejected,
+        feats.len()
+    );
+}
+
+#[test]
+fn single_user_scenario_round_trip() {
+    let scene = Scene::new(SceneConfig::laboratory_quiet(8));
+    let pipeline = small_pipeline();
+    let user = BodyModel::from_seed(4);
+    let auth = Authenticator::enroll(
+        &[(42, enrol_features(&scene, &pipeline, &user, 4, 4))],
+        &AuthConfig::default(),
+    )
+    .expect("enrolment failed");
+    assert_eq!(auth.user_ids(), vec![42]);
+
+    let caps = scene.capture_train(&user, &Placement::standing_front(0.7), 7, 3, 90_000);
+    let feats = pipeline.features_from_train(&caps).expect("probe failed");
+    let accepted = feats
+        .iter()
+        .filter(|f| auth.authenticate(f).is_accepted())
+        .count();
+    assert!(accepted > 0, "{accepted}/{} accepted", feats.len());
+
+    // And a different body stays out.
+    let stranger = BodyModel::from_seed(500);
+    let caps = scene.capture_train(&stranger, &Placement::standing_front(0.7), 7, 3, 91_000);
+    let feats = pipeline.features_from_train(&caps).expect("probe failed");
+    let accepted = feats
+        .iter()
+        .filter(|f| auth.authenticate(f).is_accepted())
+        .count();
+    assert!(
+        accepted <= 1,
+        "stranger accepted {accepted}/{} times",
+        feats.len()
+    );
+}
+
+#[test]
+fn features_are_deterministic_across_pipeline_instances() {
+    let scene = Scene::new(SceneConfig::laboratory_quiet(3));
+    let body = BodyModel::from_seed(6);
+    let caps = scene.capture_train(&body, &Placement::standing_front(0.7), 0, 2, 0);
+    let a = small_pipeline().features_from_train(&caps).unwrap();
+    let b = small_pipeline().features_from_train(&caps).unwrap();
+    assert_eq!(a, b);
+}

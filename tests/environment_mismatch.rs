@@ -1,0 +1,78 @@
+//! Model-mismatch robustness: the pipeline assumes 20 °C sound speed
+//! (343 m/s); the real room may be warmer or colder. Sound speed scales
+//! ≈ 331.3·√(1 + T/273.15), i.e. ±0.6 m/s per °C.
+
+use echoimage::core::pipeline::{EchoImagePipeline, PipelineConfig};
+use echoimage::sim::{BodyModel, Placement, Scene, SceneConfig};
+
+fn speed_at_celsius(t: f64) -> f64 {
+    331.3 * (1.0 + t / 273.15).sqrt()
+}
+
+#[test]
+fn ranging_tolerates_room_temperature_range() {
+    // 10 °C to 30 °C: ±2 % sound-speed error against the assumed 343.
+    let body = BodyModel::from_seed(25);
+    let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+    for t in [10.0, 20.0, 30.0] {
+        let mut cfg = SceneConfig::laboratory_quiet(91);
+        cfg.speed_of_sound = speed_at_celsius(t);
+        let scene = Scene::new(cfg);
+        let caps = scene.capture_train(&body, &Placement::standing_front(0.7), 0, 6, 0);
+        let est = pipeline.estimate_distance(&caps).expect("ranging failed");
+        // A 2 % speed error maps to ~2 cm at 0.7 m — well inside the
+        // estimator's own tolerance.
+        assert!(
+            (est.horizontal_distance - 0.7).abs() < 0.12,
+            "{t} °C: estimated {}",
+            est.horizontal_distance
+        );
+    }
+}
+
+#[test]
+fn authentication_survives_temperature_drift_between_sessions() {
+    // Enrol at 18 °C, authenticate at 26 °C: the echo timing shift is a
+    // fraction of the time gate and must not break recognition.
+    use echoimage::core::auth::{AuthConfig, Authenticator};
+    use echoimage::core::config::ImagingConfig;
+    use echoimage::core::enrollment::{enrollment_features, EnrollmentConfig};
+
+    let mut pipe_cfg = PipelineConfig::default();
+    pipe_cfg.imaging = ImagingConfig {
+        grid_n: 16,
+        grid_spacing: 0.1,
+        ..ImagingConfig::default()
+    };
+    let pipeline = EchoImagePipeline::new(pipe_cfg);
+    let body = BodyModel::from_seed(26);
+    let placement = Placement::standing_front(0.7);
+
+    let scene_at = |celsius: f64| {
+        let mut cfg = SceneConfig::laboratory_quiet(93);
+        cfg.speed_of_sound = speed_at_celsius(celsius);
+        Scene::new(cfg)
+    };
+
+    let cold = scene_at(18.0);
+    let visits: Vec<_> = (0..3u32)
+        .map(|v| cold.capture_train(&body, &placement, v, 4, v as u64 * 1_000))
+        .collect();
+    let features = enrollment_features(&pipeline, &visits, &EnrollmentConfig::default())
+        .expect("enrolment failed");
+    let auth =
+        Authenticator::enroll(&[(1, features)], &AuthConfig::default()).expect("enrol failed");
+
+    let warm = scene_at(26.0);
+    let probes = warm.capture_train(&body, &placement, 8, 3, 60_000);
+    let feats = pipeline.features_from_train(&probes).expect("probe failed");
+    let accepted = feats
+        .iter()
+        .filter(|f| auth.authenticate(f).is_accepted())
+        .count();
+    assert!(
+        accepted > 0,
+        "temperature drift locked the user out ({accepted}/{})",
+        feats.len()
+    );
+}

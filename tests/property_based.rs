@@ -1,0 +1,180 @@
+//! Property-based tests over cross-crate invariants.
+
+use echo_dsp::chirp::LfmChirp;
+use echo_dsp::correlate::matched_filter;
+use echo_dsp::fft::{fft, ifft};
+use echo_dsp::Complex;
+use echoimage::array::{Direction, MicArray};
+use echoimage::core::augment::augment_to_distance;
+use echoimage::core::config::ImagingConfig;
+use echoimage::ml::GrayImage;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FFT round-trips any signal of any length.
+    #[test]
+    fn fft_round_trip(values in prop::collection::vec(-1000.0f64..1000.0, 1..200)) {
+        let orig: Vec<Complex> = values.iter().map(|&v| Complex::from_real(v)).collect();
+        let mut x = orig.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        let scale = values.iter().fold(1.0f64, |a, v| a.max(v.abs()));
+        for (a, b) in x.iter().zip(orig.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-8 * scale);
+        }
+    }
+
+    /// Parseval: energy is conserved by the transform.
+    #[test]
+    fn fft_preserves_energy(values in prop::collection::vec(-100.0f64..100.0, 2..128)) {
+        let mut x: Vec<Complex> = values.iter().map(|&v| Complex::from_real(v)).collect();
+        let time_energy: f64 = values.iter().map(|v| v * v).sum();
+        fft(&mut x);
+        let freq_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum::<f64>() / values.len() as f64;
+        prop_assert!((time_energy - freq_energy).abs() <= 1e-6 * time_energy.max(1.0));
+    }
+
+    /// The matched filter peaks exactly at any injected chirp delay.
+    #[test]
+    fn matched_filter_finds_any_delay(delay in 0usize..1_000, amp in 0.1f64..10.0) {
+        let chirp = LfmChirp::new(2_000.0, 3_000.0, 0.002, 48_000.0);
+        let s = chirp.samples();
+        let mut rx = vec![0.0; 1_200];
+        for (i, &v) in s.iter().enumerate() {
+            rx[delay + i] += amp * v;
+        }
+        let c = matched_filter(&rx, &s);
+        let best = c
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        prop_assert_eq!(best, delay);
+    }
+
+    /// Steering phasors stay unit-modulus for every direction/frequency.
+    #[test]
+    fn steering_vectors_are_unit_modulus(
+        azimuth in -3.14f64..3.14,
+        elevation in 0.01f64..3.13,
+        f0 in 500.0f64..3_400.0,
+    ) {
+        let array = MicArray::respeaker_6();
+        let sv = array.steering_vector(Direction::new(azimuth, elevation), f0);
+        for w in sv {
+            prop_assert!((w.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// A plane wave from the steered direction is coherently combined:
+    /// |aᴴa| = M exactly, and no other direction exceeds it.
+    #[test]
+    fn steering_self_alignment_is_maximal(
+        azimuth in -3.0f64..3.0,
+        elevation in 0.2f64..2.9,
+        other_az in -3.0f64..3.0,
+    ) {
+        let array = MicArray::respeaker_6();
+        let f0 = 2_500.0;
+        let dir = Direction::new(azimuth, elevation);
+        let a = array.steering_vector(dir, f0);
+        let self_gain: Complex = a.iter().map(|w| w.conj() * *w).sum();
+        prop_assert!((self_gain.re - 6.0).abs() < 1e-9);
+        let b = array.steering_vector(Direction::new(other_az, elevation), f0);
+        let cross: Complex = b.iter().zip(a.iter()).map(|(w, x)| w.conj() * *x).sum();
+        prop_assert!(cross.abs() <= 6.0 + 1e-9);
+    }
+
+    /// Inverse-square augmentation round-trips through any distance pair.
+    #[test]
+    fn augmentation_round_trip(
+        d_from in 0.3f64..2.0,
+        d_to in 0.3f64..2.0,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = ImagingConfig { grid_n: 8, grid_spacing: 0.2, ..ImagingConfig::default() };
+        let img = GrayImage::from_fn(8, 8, |x, y| {
+            1.0 + ((x as u64 * 31 + y as u64 * 17 + seed) % 97) as f64
+        });
+        let there = augment_to_distance(&img, &cfg, d_from, d_to).unwrap();
+        let back = augment_to_distance(&there, &cfg, d_to, d_from).unwrap();
+        for (a, b) in img.pixels().iter().zip(back.pixels()) {
+            prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+        }
+    }
+
+    /// Augmentation scales monotonically: moving the plane farther away
+    /// never brightens any pixel.
+    #[test]
+    fn augmentation_darkens_with_distance(
+        d_from in 0.3f64..1.5,
+        delta in 0.01f64..1.0,
+    ) {
+        let cfg = ImagingConfig { grid_n: 8, grid_spacing: 0.2, ..ImagingConfig::default() };
+        let img = GrayImage::from_fn(8, 8, |x, y| 1.0 + (x + y) as f64);
+        let farther = augment_to_distance(&img, &cfg, d_from, d_from + delta).unwrap();
+        for (orig, far) in img.pixels().iter().zip(farther.pixels()) {
+            prop_assert!(far <= orig);
+        }
+    }
+
+    /// Bilinear resize preserves the value range (no over/undershoot).
+    #[test]
+    fn resize_respects_value_bounds(
+        w in 2usize..24, h in 2usize..24,
+        nw in 1usize..32, nh in 1usize..32,
+        seed in 0u64..1_000,
+    ) {
+        let img = GrayImage::from_fn(w, h, |x, y| {
+            ((x as u64 * 131 + y as u64 * 7 + seed) % 100) as f64
+        });
+        let (lo, hi) = img.pixels().iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(l, u), &v| (l.min(v), u.max(v)),
+        );
+        let r = img.resize(nw, nh);
+        for &v in r.pixels() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Butterworth band-pass designs stay stable for any valid band.
+    #[test]
+    fn bandpass_designs_are_stable(
+        f_lo in 500.0f64..8_000.0,
+        width in 100.0f64..4_000.0,
+        order in 1usize..6,
+    ) {
+        use echo_dsp::filter::SosFilter;
+        let fs = 48_000.0;
+        let f_hi = (f_lo + width).min(fs / 2.0 - 100.0);
+        prop_assume!(f_hi > f_lo + 50.0);
+        let f = SosFilter::butterworth_bandpass(order, f_lo, f_hi, fs);
+        prop_assert!(f.is_stable());
+        // Centre gain near unity; far-out-of-band strongly attenuated.
+        let centre = (f_lo * f_hi).sqrt();
+        prop_assert!(f.gain_at(centre, fs) > 0.7, "centre gain {}", f.gain_at(centre, fs));
+    }
+
+    /// Bodies of any seed place their scatterers in a sane volume.
+    #[test]
+    fn bodies_are_geometrically_sane(seed in 0u64..500, distance in 0.4f64..2.0) {
+        use echoimage::sim::{BodyModel, Placement};
+        let body = BodyModel::from_seed(seed);
+        let placed = body.scatterers(&Placement::standing_front(distance), 0, 0);
+        prop_assert!(placed.len() > 100);
+        for s in &placed {
+            prop_assert!(s.reflectivity > 0.0);
+            prop_assert!(s.position.y > distance - 0.35 && s.position.y < distance + 0.05);
+            prop_assert!(s.position.x.abs() < 0.5);
+            prop_assert!(s.position.z > -1.0 && s.position.z < 1.5);
+        }
+    }
+}

@@ -260,6 +260,28 @@ impl MicArray {
     pub fn max_unambiguous_frequency(&self, speed_of_sound: f64) -> f64 {
         speed_of_sound / (2.0 * self.min_spacing())
     }
+
+    /// A stable 64-bit fingerprint of the exact geometry (FNV-1a over
+    /// the microphone coordinates' bit patterns). Two arrays share a
+    /// fingerprint iff their positions are bit-identical, which makes it
+    /// usable as a cache key for geometry-derived quantities such as
+    /// steering fields.
+    pub fn geometry_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bits: u64| {
+            for b in bits.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(self.positions.len() as u64);
+        for p in &self.positions {
+            mix(p.x.to_bits());
+            mix(p.y.to_bits());
+            mix(p.z.to_bits());
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 //! `y[n] = Σ_m w_m* · x_m[n]` (`wᴴx`), so a distortionless design keeps a
 //! plane wave from the look direction unscaled (`wᴴa = 1`).
 
+use crate::cmatrix::CMatrix;
 use crate::covariance::SpatialCovariance;
 use crate::error::BeamformError;
 use echo_dsp::hilbert::analytic_signal;
@@ -43,25 +44,69 @@ pub fn mvdr_weights(
     noise_cov: &SpatialCovariance,
     steering: &[Complex],
 ) -> Result<Vec<Complex>, BeamformError> {
-    let m = noise_cov.num_channels();
-    if steering.len() != m {
-        return Err(BeamformError::DimensionMismatch {
-            expected: m,
-            actual: steering.len(),
-        });
+    MvdrDesigner::new(noise_cov)?.weights(steering)
+}
+
+/// An MVDR weight designer with the covariance inverse precomputed.
+///
+/// Imaging sweeps a plane of thousands of cells against *one* noise
+/// covariance; inverting it per cell dominates the sweep. `MvdrDesigner`
+/// factors the inversion out: [`MvdrDesigner::new`] inverts once, then
+/// [`MvdrDesigner::weights`] is a matrix–vector product per steering
+/// vector. The weights are bit-identical to [`mvdr_weights`] for the
+/// same covariance — the same inverse feeds the same arithmetic.
+#[derive(Debug, Clone)]
+pub struct MvdrDesigner {
+    rinv: CMatrix,
+}
+
+impl MvdrDesigner {
+    /// Inverts the noise covariance once for reuse across steering
+    /// vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeamformError::SingularMatrix`] if the covariance
+    /// cannot be inverted.
+    pub fn new(noise_cov: &SpatialCovariance) -> Result<Self, BeamformError> {
+        Ok(MvdrDesigner {
+            rinv: noise_cov.inverse()?,
+        })
     }
-    let rinv = noise_cov.inverse()?;
-    let rinv_a = rinv.matvec(steering);
-    // Denominator p_sᴴ ρ⁻¹ p_s is real for Hermitian ρ.
-    let denom: Complex = steering
-        .iter()
-        .zip(rinv_a.iter())
-        .map(|(a, ra)| a.conj() * *ra)
-        .sum();
-    if denom.abs() < 1e-300 {
-        return Err(BeamformError::SingularMatrix);
+
+    /// Number of channels the designer expects.
+    pub fn num_channels(&self) -> usize {
+        self.rinv.rows()
     }
-    Ok(rinv_a.into_iter().map(|v| v / denom).collect())
+
+    /// MVDR weights for one steering vector (paper Eq. 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeamformError::DimensionMismatch`] when the steering
+    /// vector length differs from the covariance size, or
+    /// [`BeamformError::SingularMatrix`] when the distortionless
+    /// denominator vanishes.
+    pub fn weights(&self, steering: &[Complex]) -> Result<Vec<Complex>, BeamformError> {
+        let m = self.rinv.rows();
+        if steering.len() != m {
+            return Err(BeamformError::DimensionMismatch {
+                expected: m,
+                actual: steering.len(),
+            });
+        }
+        let rinv_a = self.rinv.matvec(steering);
+        // Denominator p_sᴴ ρ⁻¹ p_s is real for Hermitian ρ.
+        let denom: Complex = steering
+            .iter()
+            .zip(rinv_a.iter())
+            .map(|(a, ra)| a.conj() * *ra)
+            .sum();
+        if denom.abs() < 1e-300 {
+            return Err(BeamformError::SingularMatrix);
+        }
+        Ok(rinv_a.into_iter().map(|v| v / denom).collect())
+    }
 }
 
 /// Applies beamformer weights to multichannel analytic signals:
@@ -237,6 +282,31 @@ mod tests {
         let desired = plane_wave(&array, look, f0, 1.0, 512, 0.0);
         let pass = output_power(&apply_weights(&desired, &w_mvdr));
         assert!((pass - 1.0).abs() < 0.05, "desired power {pass}");
+    }
+
+    #[test]
+    fn designer_matches_mvdr_weights_bit_for_bit() {
+        let array = MicArray::respeaker_6();
+        let mut ch = plane_wave(&array, Direction::new(2.1, 0.9), 2_500.0, 1.0, 256, 0.5);
+        for (i, c) in ch.iter_mut().enumerate() {
+            for (t, v) in c.iter_mut().enumerate() {
+                let jitter = (((t * 53 + i * 29) % 101) as f64 / 101.0 - 0.5) * 0.3;
+                *v += Complex::new(jitter, jitter * 0.7);
+            }
+        }
+        let cov = SpatialCovariance::from_snapshots(&ch, 1e-3);
+        let designer = MvdrDesigner::new(&cov).unwrap();
+        assert_eq!(designer.num_channels(), 6);
+        for k in 0..8 {
+            let dir = Direction::new(0.3 + 0.6 * k as f64, 1.1);
+            let a = array.steering_vector(dir, 2_500.0);
+            let w_direct = mvdr_weights(&cov, &a).unwrap();
+            let w_cached = designer.weights(&a).unwrap();
+            for (x, y) in w_direct.iter().zip(w_cached.iter()) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits());
+                assert_eq!(x.im.to_bits(), y.im.to_bits());
+            }
+        }
     }
 
     #[test]

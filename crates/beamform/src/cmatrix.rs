@@ -153,8 +153,8 @@ impl CMatrix {
         (0..self.rows)
             .map(|i| {
                 let mut acc = Complex::ZERO;
-                for j in 0..self.cols {
-                    acc += self.get(i, j) * x[j];
+                for (j, &xj) in x.iter().enumerate() {
+                    acc += self.get(i, j) * xj;
                 }
                 acc
             })
@@ -350,8 +350,8 @@ mod tests {
         let y = a.matvec(&x);
         let xm = CMatrix::from_data(3, 1, x.clone());
         let ym = a.matmul(&xm);
-        for i in 0..3 {
-            assert!((y[i] - ym.get(i, 0)).abs() < 1e-12);
+        for (i, yi) in y.iter().enumerate() {
+            assert!((*yi - ym.get(i, 0)).abs() < 1e-12);
         }
     }
 

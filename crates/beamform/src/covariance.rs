@@ -90,10 +90,10 @@ impl SpatialCovariance {
 
         let mut r = CMatrix::zeros(m, m);
         for t in 0..n {
-            for i in 0..m {
-                let xi = channels[i][t];
-                for j in 0..m {
-                    let v = r.get(i, j) + xi * channels[j][t].conj();
+            for (i, ci) in channels.iter().enumerate() {
+                let xi = ci[t];
+                for (j, cj) in channels.iter().enumerate() {
+                    let v = r.get(i, j) + xi * cj[t].conj();
                     r.set(i, j, v);
                 }
             }

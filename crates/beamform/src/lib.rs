@@ -41,7 +41,7 @@ pub mod music;
 pub mod pattern;
 pub mod subband;
 
-pub use beamformer::{apply_weights, beamform_real, das_weights, mvdr_weights};
+pub use beamformer::{apply_weights, beamform_real, das_weights, mvdr_weights, MvdrDesigner};
 pub use cmatrix::CMatrix;
 pub use covariance::SpatialCovariance;
 pub use error::BeamformError;

@@ -78,10 +78,10 @@ pub fn music_spectrum(
     // Sample covariance R = (1/N) Σ x xᴴ.
     let mut r = CMatrix::zeros(m, m);
     for t in 0..n {
-        for i in 0..m {
-            let xi = snapshots[i][t];
-            for j in 0..m {
-                let v = r.get(i, j) + xi * snapshots[j][t].conj();
+        for (i, si) in snapshots.iter().enumerate() {
+            let xi = si[t];
+            for (j, sj) in snapshots.iter().enumerate() {
+                let v = r.get(i, j) + xi * sj[t].conj();
                 r.set(i, j, v);
             }
         }

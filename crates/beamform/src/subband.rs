@@ -38,6 +38,7 @@ impl SubbandBeamformer {
     /// # Panics
     ///
     /// Panics if the band or STFT geometry is invalid.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's full STFT parameterisation
     pub fn isotropic_mvdr(
         array: &MicArray,
         look: Direction,

@@ -30,10 +30,12 @@ fn bench_beamformer_kind(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/imaging_beamformer");
     group.sample_size(20);
     for kind in [BeamformerKind::Mvdr, BeamformerKind::DelayAndSum] {
-        let mut cfg = PipelineConfig::default();
-        cfg.imaging = ImagingConfig {
-            beamformer: kind,
-            ..ImagingConfig::default()
+        let cfg = PipelineConfig {
+            imaging: ImagingConfig {
+                beamformer: kind,
+                ..ImagingConfig::default()
+            },
+            ..PipelineConfig::default()
         };
         let pipeline = EchoImagePipeline::new(cfg);
         group.bench_with_input(

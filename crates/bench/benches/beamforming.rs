@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use echo_array::{Direction, MicArray};
-use echo_beamform::{apply_weights, mvdr_weights, SpatialCovariance};
+use echo_beamform::{apply_weights, mvdr_weights, MvdrDesigner, SpatialCovariance};
 use echo_dsp::Complex;
 use std::hint::black_box;
 
@@ -41,6 +41,13 @@ fn bench_mvdr(c: &mut Criterion) {
             let sv = array.steering_vector(dir, 2_500.0);
             mvdr_weights(&cov, &sv).unwrap()
         })
+    });
+    // The same weight design with the covariance inverse precomputed —
+    // the per-cell cost inside the imaging sweep after the designer
+    // refactor. Compare against mvdr/weights (invert per call).
+    let designer = MvdrDesigner::new(&cov).unwrap();
+    c.bench_function("mvdr/weights_designer_reuse", |b| {
+        b.iter(|| designer.weights(black_box(&sv)).unwrap())
     });
 }
 

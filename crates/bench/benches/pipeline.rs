@@ -47,12 +47,55 @@ fn bench_imaging(c: &mut Criterion) {
         b.iter(|| pipeline.acoustic_image(black_box(&cap), 0.7).unwrap())
     });
     // The paper's full-scale 180×180 grid.
-    let mut full = PipelineConfig::default();
-    full.imaging = echoimage_core::config::ImagingConfig::paper_full();
+    let full = PipelineConfig {
+        imaging: echoimage_core::config::ImagingConfig::paper_full(),
+        ..PipelineConfig::default()
+    };
     let full_pipeline = EchoImagePipeline::new(full);
     group.sample_size(10);
     group.bench_function("paper_180x180", |b| {
         b.iter(|| full_pipeline.acoustic_image(black_box(&cap), 0.7).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_parallel_imaging(c: &mut Criterion) {
+    let (scene, body, _) = fixtures();
+    let caps = scene.capture_train(&body, &Placement::standing_front(0.7), 0, 4, 0);
+    let mut group = c.benchmark_group("pipeline/images_from_train_L4");
+    group.sample_size(10);
+    // threads = 1 is the serial reference; threads = 0 lets the work
+    // pool use every available core. Outputs are bit-identical — only
+    // the wall clock should move.
+    let serial = EchoImagePipeline::new(PipelineConfig::default().with_threads(1));
+    group.bench_function("serial", |b| {
+        b.iter(|| serial.images_from_train(black_box(&caps)).unwrap())
+    });
+    let parallel = EchoImagePipeline::new(PipelineConfig::default().with_threads(0));
+    group.bench_function("parallel_auto", |b| {
+        b.iter(|| parallel.images_from_train(black_box(&caps)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_steering_cache(c: &mut Criterion) {
+    use echoimage_core::steering_cache;
+    let (scene, body, pipeline) = fixtures();
+    let cap = scene.capture_beep(&body, &Placement::standing_front(0.7), 0, 0);
+    let mut group = c.benchmark_group("pipeline/steering_cache");
+    group.sample_size(10);
+    // Cold: every image pays the full steering-field computation.
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            steering_cache::clear_cache();
+            pipeline.acoustic_image(black_box(&cap), 0.7).unwrap()
+        })
+    });
+    // Warm: the field is served from the cache, as when imaging the
+    // 2nd..Nth beep of a train.
+    let _ = pipeline.acoustic_image(&cap, 0.7).unwrap();
+    group.bench_function("warm", |b| {
+        b.iter(|| pipeline.acoustic_image(black_box(&cap), 0.7).unwrap())
     });
     group.finish();
 }
@@ -95,6 +138,8 @@ criterion_group!(
     bench_preprocess,
     bench_distance,
     bench_imaging,
+    bench_parallel_imaging,
+    bench_steering_cache,
     bench_features,
     bench_authentication
 );

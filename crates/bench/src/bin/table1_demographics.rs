@@ -11,10 +11,7 @@ fn main() {
         "20 volunteers; users 1-5/6/7-15/16-19/20 as printed; 12 register, 8 spoof",
     );
     let out = table1::run(2023);
-    println!(
-        "{:<8} {:<8} {:<7} {}",
-        "User ID", "Gender", "Age", "Occupation"
-    );
+    println!("{:<8} {:<8} {:<7} Occupation", "User ID", "Gender", "Age");
     for row in &out.rows {
         println!(
             "{:<8} {:<8} {:<7} {}",

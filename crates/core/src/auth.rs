@@ -255,8 +255,7 @@ impl Authenticator {
             GateMode::PerUser => {
                 let mut gates = Vec::new();
                 let mut offset = 0usize;
-                let mut gates_user_idx = 0usize;
-                for (_, gs) in users {
+                for (uid, gs) in users {
                     let user_groups = &group_clouds[offset..offset + gs.len()];
                     for (idx, cloud) in user_groups.iter().enumerate() {
                         let svm =
@@ -274,9 +273,8 @@ impl Authenticator {
                             sibling_scores.sort_by(f64::total_cmp);
                             sibling_scores[(sibling_scores.len() * 3) / 4].min(0.0)
                         };
-                        gates.push((svm, threshold, users[gates_user_idx].0));
+                        gates.push((svm, threshold, *uid));
                     }
-                    gates_user_idx += 1;
                     offset += gs.len();
                 }
                 gates
@@ -389,7 +387,7 @@ fn intra_rbf(groups: &[Vec<Vec<f64>>], dim: usize) -> Kernel {
         let mut count = 0usize;
         for i in 0..n {
             for j in i + 1..n {
-                if count % stride == 0 {
+                if count.is_multiple_of(stride) {
                     d2.push(
                         cloud[i]
                             .iter()

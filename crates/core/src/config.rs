@@ -223,6 +223,11 @@ pub struct PipelineConfig {
     pub bandpass_order: usize,
     /// Source of the MVDR noise covariance.
     pub covariance: CovarianceMode,
+    /// Worker threads for the imaging hot paths: `0` uses the machine's
+    /// available parallelism, `1` forces the serial reference path,
+    /// `n ≥ 2` uses exactly `n` threads. Results are bit-identical at
+    /// every setting.
+    pub threads: usize,
 }
 
 impl PipelineConfig {
@@ -234,7 +239,15 @@ impl PipelineConfig {
             imaging: ImagingConfig::default(),
             bandpass_order: 4,
             covariance: CovarianceMode::Isotropic,
+            threads: 0,
         }
+    }
+
+    /// This configuration with a different thread count (see
+    /// [`PipelineConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 

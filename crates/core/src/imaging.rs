@@ -10,8 +10,10 @@
 
 use crate::config::{BeamformerKind, PipelineConfig};
 use crate::error::EchoImageError;
-use echo_array::{Direction, MicArray, Vec3};
-use echo_beamform::{das_weights, mvdr_weights, SpatialCovariance};
+use crate::par::parallel_map_indexed;
+use crate::steering_cache::steering_field;
+use echo_array::MicArray;
+use echo_beamform::{das_weights, MvdrDesigner, SpatialCovariance};
 use echo_dsp::hilbert::analytic_signal;
 use echo_dsp::{Complex, SPEED_OF_SOUND};
 use echo_ml::GrayImage;
@@ -94,27 +96,36 @@ pub fn construct_image_with_covariance(
     let chirp_len = config.beep.chirp_samples();
     let preroll = capture.preroll();
 
-    let mut image = GrayImage::zeros(icfg.grid_n, icfg.grid_n);
-    for row in 0..icfg.grid_n {
-        for col in 0..icfg.grid_n {
-            let (x_k, z_k) = icfg.cell_center(col, row);
-            let cell = Vec3::new(x_k, horizontal_distance, z_k);
-            // Eq. 11–12 via the general direction-to-point formula.
-            let dir = Direction::toward_point(cell);
-            let steering = array.steering_vector(dir, f0);
-            let weights = match icfg.beamformer {
-                BeamformerKind::Mvdr => mvdr_weights(cov, &steering)?,
-                BeamformerKind::DelayAndSum => das_weights(&steering),
+    // The steering vectors and cell distances depend only on the sweep
+    // geometry, not on this capture: fetch the shared field (computed
+    // once per geometry, process-wide).
+    let field = steering_field(array, icfg, horizontal_distance, f0);
+    // MVDR inverts one covariance for the whole sweep; precompute it.
+    // The designer feeds the identical inverse through the identical
+    // arithmetic, so pixels match the per-cell `mvdr_weights` exactly.
+    let designer = match icfg.beamformer {
+        BeamformerKind::Mvdr => Some(MvdrDesigner::new(cov)?),
+        BeamformerKind::DelayAndSum => None,
+    };
+
+    // Rows are independent; sweep them on the work pool. Reassembly is
+    // by row index, so every thread count yields the same image.
+    let rows: Vec<usize> = (0..icfg.grid_n).collect();
+    let row_pixels = parallel_map_indexed(&rows, config.threads, |_, &row| {
+        let mut pixels = vec![0.0f64; icfg.grid_n];
+        for (col, px) in pixels.iter_mut().enumerate() {
+            let cell = field.cell(col, row);
+            let weights = match &designer {
+                Some(d) => d.weights(&cell.steering)?,
+                None => das_weights(&cell.steering),
             };
 
             // Time gate: echoes from this cell arrive after the round
             // trip 2·D_k/c (paper approximation: speaker ≈ array origin).
-            let d_k = cell.norm();
-            let center = preroll as f64 + 2.0 * d_k / SPEED_OF_SOUND * fs;
+            let center = preroll as f64 + 2.0 * cell.distance / SPEED_OF_SOUND * fs;
             let start = (center as isize - guard as isize).max(0) as usize;
             let end = ((center as usize).saturating_add(guard + chirp_len)).min(n);
             if start >= end {
-                image.set(col, row, 0.0);
                 continue;
             }
 
@@ -128,7 +139,15 @@ pub fn construct_image_with_covariance(
                 // Pixel uses the real beamformed signal, as in the paper.
                 energy += acc.re * acc.re;
             }
-            image.set(col, row, energy.sqrt());
+            *px = energy.sqrt();
+        }
+        Ok::<Vec<f64>, EchoImageError>(pixels)
+    });
+
+    let mut image = GrayImage::zeros(icfg.grid_n, icfg.grid_n);
+    for (row, pixels) in row_pixels.into_iter().enumerate() {
+        for (col, px) in pixels?.into_iter().enumerate() {
+            image.set(col, row, px);
         }
     }
     Ok(image)

@@ -50,7 +50,9 @@ mod error;
 pub mod features;
 pub mod fusion;
 pub mod imaging;
+pub mod par;
 pub mod pipeline;
+pub mod steering_cache;
 
 pub use auth::{AuthDecision, Authenticator};
 pub use config::{BeepConfig, ImagingConfig, PipelineConfig};

@@ -1,0 +1,132 @@
+//! A small deterministic work pool for the imaging and evaluation hot
+//! paths.
+//!
+//! [`parallel_map_indexed`] fans a slice out over scoped worker threads
+//! and returns results **in input order**, so a parallel map is
+//! bit-identical to its serial counterpart: the same closure runs on the
+//! same inputs, and reassembly is by index, never by completion time.
+//! Work is handed out dynamically (an atomic cursor), which keeps cores
+//! busy even when per-item cost is skewed — in imaging, rows crossing
+//! the user's body gate many more samples than empty border rows.
+//!
+//! Thread counts follow one convention everywhere in this workspace:
+//! `0` means "use [`std::thread::available_parallelism`]", `1` forces
+//! the plain serial loop (no threads spawned at all), and `n ≥ 2` spawns
+//! `n` workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested thread count: `0` becomes the machine's
+/// available parallelism (at least 1), anything else is returned as-is.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers (resolved by
+/// [`effective_threads`]) and returns the results in input order.
+///
+/// With `threads <= 1` (or fewer than two items) this is exactly
+/// `items.iter().enumerate().map(..).collect()` — no threads, no
+/// channels — which is what makes `threads = 1` a trustworthy serial
+/// reference for determinism tests.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` once all workers have joined.
+pub fn parallel_map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                if tx.send((i, f(i, item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_resolves_to_available_parallelism() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(7), 7);
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |i: usize, x: &u64| x.wrapping_mul(31).wrapping_add(i as u64);
+        let serial = parallel_map_indexed(&items, 1, f);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(parallel_map_indexed(&items, threads, f), serial);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map_indexed(&empty, 4, |_, x| *x).is_empty());
+        assert_eq!(parallel_map_indexed(&[9u32], 4, |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn skewed_workloads_still_return_in_order() {
+        // Early items sleep longest: completion order is roughly the
+        // reverse of input order, so index-based reassembly is exercised.
+        let items: Vec<u64> = (0..16).collect();
+        let out = parallel_map_indexed(&items, 4, |i, x| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - i as u64));
+            *x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = parallel_map_indexed(&items, 4, |_, x| {
+            if *x == 5 {
+                panic!("boom");
+            }
+            *x
+        });
+    }
+}

@@ -10,6 +10,7 @@ use crate::distance::{estimate_distance, DistanceEstimate};
 use crate::error::EchoImageError;
 use crate::features::ImageFeatures;
 use crate::imaging::construct_image;
+use crate::par::parallel_map_indexed;
 use echo_array::MicArray;
 use echo_dsp::filter::SosFilter;
 use echo_ml::GrayImage;
@@ -124,24 +125,27 @@ impl EchoImagePipeline {
         &self,
         captures: &[BeepCapture],
     ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
-        let filtered: Vec<BeepCapture> = captures.iter().map(|c| self.preprocess(c)).collect();
+        let filtered: Vec<BeepCapture> =
+            parallel_map_indexed(captures, self.config.threads, |_, c| self.preprocess(c));
         let estimate = estimate_distance(&filtered, &self.array, &self.config)?;
         // One covariance for the whole train keeps the MVDR weights
         // identical across beeps, so image variation reflects the user,
         // not the covariance estimator.
         let cov = crate::distance::resolve_covariance(&filtered, &self.array, &self.config);
-        let images = filtered
-            .iter()
-            .map(|c| {
-                crate::imaging::construct_image_with_covariance(
-                    c,
-                    &self.array,
-                    estimate.horizontal_distance,
-                    &cov,
-                    &self.config,
-                )
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        // Fan out over beeps, which each image serially — one layer of
+        // parallelism, not threads² workers.
+        let inner = self.config.clone().with_threads(1);
+        let images = parallel_map_indexed(&filtered, self.config.threads, |_, c| {
+            crate::imaging::construct_image_with_covariance(
+                c,
+                &self.array,
+                estimate.horizontal_distance,
+                &cov,
+                &inner,
+            )
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
         Ok((images, estimate))
     }
 
@@ -162,7 +166,8 @@ impl EchoImagePipeline {
         captures: &[BeepCapture],
         plane_offsets: &[f64],
     ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
-        let filtered: Vec<BeepCapture> = captures.iter().map(|c| self.preprocess(c)).collect();
+        let filtered: Vec<BeepCapture> =
+            parallel_map_indexed(captures, self.config.threads, |_, c| self.preprocess(c));
         let estimate = estimate_distance(&filtered, &self.array, &self.config)?;
         let cov = crate::distance::resolve_covariance(&filtered, &self.array, &self.config);
         let mut planes = vec![estimate.horizontal_distance];
@@ -171,18 +176,24 @@ impl EchoImagePipeline {
                 .iter()
                 .map(|o| (estimate.horizontal_distance + o).max(0.2)),
         );
-        let mut images = Vec::with_capacity(filtered.len() * planes.len());
-        for c in &filtered {
-            for &d in &planes {
-                images.push(crate::imaging::construct_image_with_covariance(
-                    c,
-                    &self.array,
-                    d,
-                    &cov,
-                    &self.config,
-                )?);
-            }
-        }
+        // Flatten the capture × plane grid into one job list so the
+        // pool sees every unit of work at once; output order matches
+        // the serial nested loop (capture-major).
+        let jobs: Vec<(usize, f64)> = (0..filtered.len())
+            .flat_map(|ci| planes.iter().map(move |&d| (ci, d)))
+            .collect();
+        let inner = self.config.clone().with_threads(1);
+        let images = parallel_map_indexed(&jobs, self.config.threads, |_, &(ci, d)| {
+            crate::imaging::construct_image_with_covariance(
+                &filtered[ci],
+                &self.array,
+                d,
+                &cov,
+                &inner,
+            )
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
         Ok((images, estimate))
     }
 

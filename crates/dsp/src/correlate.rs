@@ -51,7 +51,7 @@ pub fn matched_filter(signal: &[f64], template: &[f64]) -> Vec<f64> {
     fft(&mut a);
     fft(&mut b);
     for (x, y) in a.iter_mut().zip(b.iter()) {
-        *x = *x * y.conj();
+        *x *= y.conj();
     }
     ifft(&mut a);
     a.truncate(n);
@@ -82,7 +82,7 @@ pub fn matched_filter_complex(signal: &[Complex], template: &[Complex]) -> Vec<C
     fft(&mut a);
     fft(&mut b);
     for (x, y) in a.iter_mut().zip(b.iter()) {
-        *x = *x * y.conj();
+        *x *= y.conj();
     }
     ifft(&mut a);
     a.truncate(n);

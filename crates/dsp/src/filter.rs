@@ -254,7 +254,10 @@ fn build_digital(
     };
     let zpoles: Vec<Complex> = analog_poles.into_iter().map(bilinear).collect();
     let mut zzeros: Vec<Complex> = analog_zeros.into_iter().map(bilinear).collect();
-    zzeros.extend(std::iter::repeat(Complex::new(-1.0, 0.0)).take(extra_minus_one));
+    zzeros.extend(std::iter::repeat_n(
+        Complex::new(-1.0, 0.0),
+        extra_minus_one,
+    ));
     // Low-pass case: all zeros at infinity.
     while zzeros.len() < zpoles.len() {
         zzeros.push(Complex::new(-1.0, 0.0));

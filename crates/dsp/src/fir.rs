@@ -25,7 +25,11 @@ impl FirFilter {
     pub fn lowpass(taps: usize, fc: f64, fs: f64) -> Self {
         assert!(taps > 0, "need at least one tap");
         assert!(fc > 0.0 && fc < fs / 2.0, "cutoff must lie in (0, Nyquist)");
-        let n = if taps % 2 == 0 { taps + 1 } else { taps };
+        let n = if taps.is_multiple_of(2) {
+            taps + 1
+        } else {
+            taps
+        };
         let mid = (n / 2) as isize;
         let w = window(WindowKind::Hamming, n);
         let fc_n = fc / fs; // cycles per sample

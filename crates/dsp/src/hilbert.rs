@@ -39,7 +39,7 @@ pub fn analytic_signal(signal: &[f64]) -> Vec<Complex> {
     // Single-sided spectrum weighting.
     let half = n / 2;
     for (k, v) in spec.iter_mut().enumerate() {
-        if k == 0 || (n % 2 == 0 && k == half) {
+        if k == 0 || (n.is_multiple_of(2) && k == half) {
             // DC (and Nyquist for even n) stay unscaled.
         } else if k < half || (n % 2 == 1 && k == half) {
             *v = *v * 2.0;
@@ -105,7 +105,7 @@ mod tests {
             );
             let expected_phase = 2.0 * PI * k * i as f64 / n as f64;
             let diff = (v.arg() - expected_phase).rem_euclid(2.0 * PI);
-            assert!(diff < 1e-6 || diff > 2.0 * PI - 1e-6, "phase at {i}");
+            assert!(!(1e-6..=2.0 * PI - 1e-6).contains(&diff), "phase at {i}");
         }
     }
 

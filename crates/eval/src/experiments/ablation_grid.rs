@@ -78,11 +78,13 @@ pub fn run(config: &Config) -> Result<Output, echoimage_core::EchoImageError> {
 
     let mut points = Vec::new();
     for &grid_n in &config.grid_sizes {
-        let mut pipe_cfg = PipelineConfig::default();
-        pipe_cfg.imaging = ImagingConfig {
-            grid_n,
-            grid_spacing: extent / grid_n as f64,
-            ..ImagingConfig::default()
+        let pipe_cfg = PipelineConfig {
+            imaging: ImagingConfig {
+                grid_n,
+                grid_spacing: extent / grid_n as f64,
+                ..ImagingConfig::default()
+            },
+            ..PipelineConfig::default()
         };
         let harness = Harness::with_config(pipe_cfg, config.seed);
         let spec = CaptureSpec::default_lab(0);

@@ -8,6 +8,7 @@
 
 use echo_ml::GrayImage;
 use echo_sim::{BodyModel, EnvironmentKind, NoiseKind, Placement, Scene, SceneConfig, UserProfile};
+use echoimage_core::par::parallel_map_indexed;
 use echoimage_core::pipeline::{EchoImagePipeline, PipelineConfig};
 use echoimage_core::{DistanceEstimate, EchoImageError};
 use serde::{Deserialize, Serialize};
@@ -49,6 +50,21 @@ impl CaptureSpec {
     }
 }
 
+/// Harness construction parameters: the pipeline configuration plus the
+/// evaluation-level concurrency.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HarnessConfig {
+    /// Pipeline configuration shared by every subject.
+    pub pipeline: PipelineConfig,
+    /// Scene/population base seed.
+    pub seed: u64,
+    /// Worker threads for the subject×session fan-out
+    /// ([`Harness::features_for_batch`] and the protocol runners): `0`
+    /// uses available parallelism, `1` forces serial. Results are
+    /// bit-identical at every setting.
+    pub threads: usize,
+}
+
 /// The shared experiment harness.
 ///
 /// # Example
@@ -68,6 +84,7 @@ impl CaptureSpec {
 pub struct Harness {
     pipeline: EchoImagePipeline,
     seed: u64,
+    threads: usize,
 }
 
 impl Harness {
@@ -77,12 +94,38 @@ impl Harness {
     }
 
     /// Creates a harness with a custom pipeline configuration (smaller
-    /// grids for smoke tests, ablation beamformers, …).
+    /// grids for smoke tests, ablation beamformers, …). The fan-out
+    /// thread count is taken from [`PipelineConfig::threads`].
     pub fn with_config(config: PipelineConfig, seed: u64) -> Self {
-        Harness {
-            pipeline: EchoImagePipeline::new(config),
+        Self::from_config(HarnessConfig {
+            threads: config.threads,
+            pipeline: config,
             seed,
+        })
+    }
+
+    /// Creates a harness from a full [`HarnessConfig`].
+    pub fn from_config(config: HarnessConfig) -> Self {
+        Harness {
+            pipeline: EchoImagePipeline::new(config.pipeline),
+            seed: config.seed,
+            threads: config.threads,
         }
+    }
+
+    /// Worker threads used for batch fan-out.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A clone of the pipeline pinned to one thread, for use *inside*
+    /// fan-out workers — the batch level is the parallel one, so each
+    /// job images serially instead of stacking thread pools.
+    pub(crate) fn worker_pipeline(&self) -> EchoImagePipeline {
+        EchoImagePipeline::with_array(
+            self.pipeline.config().clone().with_threads(1),
+            self.pipeline.array().clone(),
+        )
     }
 
     /// The underlying pipeline.
@@ -179,6 +222,31 @@ impl Harness {
     pub fn features_of_images(&self, images: &[GrayImage]) -> Vec<Vec<f64>> {
         images.iter().map(|i| self.pipeline.features(i)).collect()
     }
+
+    /// Runs a whole batch of `(subject, condition)` jobs — the
+    /// subject×session fan-out of an evaluation — across the harness's
+    /// worker threads. The result vector is in job order regardless of
+    /// thread count, and every job is independent (its own scene, its
+    /// own captures), so the output is bit-identical to calling
+    /// [`Harness::features_for_profile`] in a loop.
+    pub fn features_for_batch(
+        &self,
+        jobs: &[(UserProfile, CaptureSpec)],
+    ) -> Vec<Result<Vec<Vec<f64>>, EchoImageError>> {
+        let worker = self.worker_pipeline();
+        parallel_map_indexed(jobs, self.threads, |_, (profile, spec)| {
+            let scene = self.scene(spec);
+            let captures = scene.capture_train(
+                &profile.body(),
+                &Placement::standing_front(spec.distance),
+                spec.session,
+                spec.beeps,
+                spec.beep_offset,
+            );
+            let (images, _) = worker.images_from_train(&captures)?;
+            Ok(images.iter().map(|i| worker.features(i)).collect())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -189,11 +257,13 @@ mod tests {
 
     fn small_harness() -> Harness {
         // A small grid keeps unit tests fast; experiments use defaults.
-        let mut cfg = PipelineConfig::default();
-        cfg.imaging = ImagingConfig {
-            grid_n: 16,
-            grid_spacing: 0.1,
-            ..ImagingConfig::default()
+        let cfg = PipelineConfig {
+            imaging: ImagingConfig {
+                grid_n: 16,
+                grid_spacing: 0.1,
+                ..ImagingConfig::default()
+            },
+            ..PipelineConfig::default()
         };
         Harness::with_config(cfg, 3)
     }

@@ -26,5 +26,5 @@ pub mod metrics;
 pub mod report;
 pub mod roc;
 
-pub use harness::{CaptureSpec, Harness};
+pub use harness::{CaptureSpec, Harness, HarnessConfig};
 pub use metrics::{AuthMetrics, ConfusionMatrix, SPOOFER};

@@ -1,0 +1,75 @@
+//! The evaluation fan-out must not change any number it reports.
+//!
+//! `Harness::features_for_batch` and the protocol runners fan subjects
+//! out over worker threads; these tests pin their outputs to the serial
+//! reference bit-for-bit (feature vectors) and exactly (confusion
+//! matrices).
+
+use echo_eval::experiments::protocol::{enroll, evaluate, ProtocolConfig};
+use echo_eval::harness::{CaptureSpec, Harness, HarnessConfig};
+use echo_sim::Population;
+use echoimage_core::config::{ImagingConfig, PipelineConfig};
+
+fn harness(threads: usize) -> Harness {
+    let pipeline = PipelineConfig {
+        imaging: ImagingConfig {
+            grid_n: 16,
+            grid_spacing: 0.1,
+            ..ImagingConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    Harness::from_config(HarnessConfig {
+        pipeline,
+        seed: 3,
+        threads,
+    })
+}
+
+#[test]
+fn batch_features_are_thread_count_invariant() {
+    let pop = Population::generate(3, 2, 5);
+    let jobs: Vec<_> = pop
+        .profiles()
+        .iter()
+        .map(|p| (*p, CaptureSpec::default_lab(2)))
+        .collect();
+
+    let serial = harness(1).features_for_batch(&jobs);
+    let parallel = harness(4).features_for_batch(&jobs);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(parallel.iter()) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.len(), b.len());
+        for (fa, fb) in a.iter().zip(b.iter()) {
+            assert_eq!(fa.len(), fb.len());
+            for (x, y) in fa.iter().zip(fb.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "feature bits diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn protocol_run_is_thread_count_invariant() {
+    let pop = Population::generate(4, 2, 9);
+    let spec = CaptureSpec::default_lab(0);
+    let proto = ProtocolConfig {
+        train_beeps: 6,
+        enroll_batch: 3,
+        test_beeps: 2,
+        test_sessions: vec![0],
+        ..ProtocolConfig::default()
+    };
+
+    let run = |threads: usize| {
+        let h = harness(threads);
+        let registered: Vec<_> = pop.registered().collect();
+        let spoofers: Vec<_> = pop.spoofers().collect();
+        let auth = enroll(&h, &registered, &spec, &proto).unwrap();
+        evaluate(&h, &auth, &registered, &spoofers, &spec, &proto)
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel, "confusion matrices diverged");
+}

@@ -57,7 +57,7 @@ impl Kernel {
         let mut count = 0usize;
         'outer: for i in 0..n {
             for j in i + 1..n {
-                if count % stride == 0 {
+                if count.is_multiple_of(stride) {
                     let d: f64 = xs[i]
                         .iter()
                         .zip(&xs[j])
@@ -117,10 +117,10 @@ mod tests {
     fn gram_is_symmetric_with_unit_diagonal_for_rbf() {
         let xs = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0]];
         let g = Kernel::Rbf { gamma: 1.0 }.gram(&xs);
-        for i in 0..3 {
-            assert_eq!(g[i][i], 1.0);
-            for j in 0..3 {
-                assert_eq!(g[i][j], g[j][i]);
+        for (i, row) in g.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(*v, g[j][i]);
             }
         }
     }

@@ -72,10 +72,10 @@ impl OneClassSvm {
             let mut i_best: Option<(usize, f64)> = None;
             let mut j_best: Option<(usize, f64)> = None;
             for t in 0..n {
-                if alpha[t] < upper - 1e-15 && i_best.map_or(true, |(_, v)| g[t] < v) {
+                if alpha[t] < upper - 1e-15 && i_best.is_none_or(|(_, v)| g[t] < v) {
                     i_best = Some((t, g[t]));
                 }
-                if alpha[t] > 1e-15 && j_best.map_or(true, |(_, v)| g[t] > v) {
+                if alpha[t] > 1e-15 && j_best.is_none_or(|(_, v)| g[t] > v) {
                     j_best = Some((t, g[t]));
                 }
             }

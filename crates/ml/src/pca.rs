@@ -26,6 +26,7 @@ impl Pca {
     ///
     /// Panics if `data` is empty, ragged, or `num_components` is zero or
     /// exceeds the feature dimension.
+    #[allow(clippy::needless_range_loop)] // symmetric-matrix index pairs read as maths
     pub fn fit(data: &[Vec<f64>], num_components: usize) -> Self {
         assert!(!data.is_empty(), "cannot fit PCA on no data");
         let d = data[0].len();
@@ -116,6 +117,7 @@ impl Pca {
 
 /// Cyclic Jacobi eigendecomposition of a real symmetric matrix
 /// (destroys `a`); returns `(eigenvalues, eigenvector-columns)`.
+#[allow(clippy::needless_range_loop)] // Jacobi rotations index row/col pairs symmetrically
 fn jacobi_symmetric(a: &mut [Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
     let d = a.len();
     let mut v = vec![vec![0.0f64; d]; d];

@@ -54,7 +54,7 @@ impl SvmBinary {
             "labels must be ±1"
         );
         assert!(
-            ys.iter().any(|&y| y == 1.0) && ys.iter().any(|&y| y == -1.0),
+            ys.contains(&1.0) && ys.contains(&-1.0),
             "need samples from both classes"
         );
 
@@ -77,10 +77,10 @@ impl SvmBinary {
                 let s = ys[t] - g[t];
                 let in_up = (ys[t] > 0.0 && alpha[t] < c) || (ys[t] < 0.0 && alpha[t] > 0.0);
                 let in_low = (ys[t] < 0.0 && alpha[t] < c) || (ys[t] > 0.0 && alpha[t] > 0.0);
-                if in_up && i_up.map_or(true, |(_, best)| s > best) {
+                if in_up && i_up.is_none_or(|(_, best)| s > best) {
                     i_up = Some((t, s));
                 }
-                if in_low && i_low.map_or(true, |(_, best)| s < best) {
+                if in_low && i_low.is_none_or(|(_, best)| s < best) {
                     i_low = Some((t, s));
                 }
             }

@@ -1,0 +1,74 @@
+//! Workspace task runner.
+//!
+//! `cargo xtask ci` replays the exact gate from
+//! `.github/workflows/ci.yml` locally — same commands, same order — so
+//! a change that passes here passes CI. Wired up through the `xtask`
+//! alias in `.cargo/config.toml`.
+
+use std::process::{exit, Command};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("ci") => ci(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`");
+            eprintln!("{USAGE}");
+            exit(2);
+        }
+        None => {
+            eprintln!("{USAGE}");
+            exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo xtask ci
+
+tasks:
+  ci    run the full CI gate (fmt, clippy, build, tests, bench build)";
+
+/// The CI gate, in the same order as .github/workflows/ci.yml: cheap
+/// static checks first, the test run last.
+fn ci() {
+    let steps: &[(&str, &[&str])] = &[
+        ("format check", &["fmt", "--all", "--check"]),
+        (
+            "clippy",
+            &[
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ],
+        ),
+        ("release build", &["build", "--release", "--workspace"]),
+        ("tests", &["test", "-q", "--workspace"]),
+        ("bench build", &["bench", "--no-run", "--workspace"]),
+    ];
+    for (name, args) in steps {
+        run(name, args);
+    }
+    println!("\nCI gate passed ({} steps)", steps.len());
+}
+
+fn run(name: &str, args: &[&str]) {
+    println!("==> {name}: cargo {}", args.join(" "));
+    // CARGO points back at the cargo that invoked the alias, so the
+    // gate runs with the same toolchain the developer is using.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let status = Command::new(cargo).args(args).status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("step `{name}` failed with {s}");
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("step `{name}` could not start: {e}");
+            exit(1);
+        }
+    }
+}

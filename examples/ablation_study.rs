@@ -53,10 +53,12 @@ fn main() {
     // ── Ablation 2: MVDR vs delay-and-sum imaging ────────────────────
     println!("\nablation 2 — imaging beamformer (same/cross-user image contrast):");
     for kind in [BeamformerKind::Mvdr, BeamformerKind::DelayAndSum] {
-        let mut cfg = PipelineConfig::default();
-        cfg.imaging = ImagingConfig {
-            beamformer: kind,
-            ..ImagingConfig::default()
+        let cfg = PipelineConfig {
+            imaging: ImagingConfig {
+                beamformer: kind,
+                ..ImagingConfig::default()
+            },
+            ..PipelineConfig::default()
         };
         let p = EchoImagePipeline::new(cfg);
         let img = |body: &BodyModel, beep: u64| {
@@ -83,7 +85,8 @@ fn main() {
         p.acoustic_image(&cap, 0.7).expect("imaging failed")
     };
     let (a0, a1, b0) = (img(&alice, 0), img(&alice, 1), img(&bella, 7));
-    let extractors: Vec<(&str, Box<dyn Fn(&GrayImage) -> Vec<f64>>)> = vec![
+    type Extractor<'a> = Box<dyn Fn(&GrayImage) -> Vec<f64> + 'a>;
+    let extractors: Vec<(&str, Extractor)> = vec![
         ("frozen CNN", Box::new(|i: &GrayImage| fx.extract(i))),
         ("raw pixels", Box::new(|i: &GrayImage| fx.raw_pixels(i))),
     ];
@@ -107,8 +110,10 @@ fn main() {
             ("MVDR (isotropic ρ)", CovarianceMode::Isotropic),
             ("delay-and-sum", CovarianceMode::Identity),
         ] {
-            let mut cfg = PipelineConfig::default();
-            cfg.covariance = mode;
+            let cfg = PipelineConfig {
+                covariance: mode,
+                ..PipelineConfig::default()
+            };
             let p = EchoImagePipeline::new(cfg);
             let mut errs = Vec::new();
             for trial in 0..4 {

@@ -25,6 +25,7 @@
 //!
 //! ```
 //! use echoimage::sim::{BodyModel, Placement, Scene, SceneConfig};
+//! use echoimage::core::enrollment::{enrollment_features, EnrollmentConfig};
 //! use echoimage::core::pipeline::{EchoImagePipeline, PipelineConfig};
 //! use echoimage::core::auth::{AuthConfig, Authenticator};
 //!
@@ -33,14 +34,19 @@
 //! let alice = BodyModel::from_seed(1);
 //! let placement = Placement::standing_front(0.7);
 //!
-//! // Enrol: capture a few beeps, build acoustic images, extract features.
+//! // Enrol with the production recipe: two registration visits, each
+//! // ranged and imaged independently, then plane-diversified and
+//! // distance-augmented (§V-F) so the cloud spans day-to-day drift.
 //! let pipeline = EchoImagePipeline::new(PipelineConfig::default());
-//! let enrolment = scene.capture_train(&alice, &placement, 0, 6, 0);
-//! let features = pipeline.features_from_train(&enrolment).unwrap();
+//! let visits: Vec<_> = (0..2u32)
+//!     .map(|v| scene.capture_train(&alice, &placement, v, 3, u64::from(v) * 100))
+//!     .collect();
+//! let features =
+//!     enrollment_features(&pipeline, &visits, &EnrollmentConfig::default()).unwrap();
 //! let auth = Authenticator::enroll(&[(1, features)], &AuthConfig::default()).unwrap();
 //!
 //! // Authenticate a fresh capture of the same user.
-//! let attempt = scene.capture_train(&alice, &placement, 0, 2, 100);
+//! let attempt = scene.capture_train(&alice, &placement, 9, 2, 900);
 //! let probe = pipeline.features_from_train(&attempt).unwrap();
 //! assert!(auth.authenticate(&probe[0]).is_accepted());
 //! ```

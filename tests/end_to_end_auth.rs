@@ -11,11 +11,13 @@ use echoimage::core::pipeline::{EchoImagePipeline, PipelineConfig};
 use echoimage::sim::{BodyModel, Placement, Scene, SceneConfig};
 
 fn small_pipeline() -> EchoImagePipeline {
-    let mut cfg = PipelineConfig::default();
-    cfg.imaging = ImagingConfig {
-        grid_n: 16,
-        grid_spacing: 0.1,
-        ..ImagingConfig::default()
+    let cfg = PipelineConfig {
+        imaging: ImagingConfig {
+            grid_n: 16,
+            grid_spacing: 0.1,
+            ..ImagingConfig::default()
+        },
+        ..PipelineConfig::default()
     };
     EchoImagePipeline::new(cfg)
 }

@@ -38,11 +38,13 @@ fn authentication_survives_temperature_drift_between_sessions() {
     use echoimage::core::config::ImagingConfig;
     use echoimage::core::enrollment::{enrollment_features, EnrollmentConfig};
 
-    let mut pipe_cfg = PipelineConfig::default();
-    pipe_cfg.imaging = ImagingConfig {
-        grid_n: 16,
-        grid_spacing: 0.1,
-        ..ImagingConfig::default()
+    let pipe_cfg = PipelineConfig {
+        imaging: ImagingConfig {
+            grid_n: 16,
+            grid_spacing: 0.1,
+            ..ImagingConfig::default()
+        },
+        ..PipelineConfig::default()
     };
     let pipeline = EchoImagePipeline::new(pipe_cfg);
     let body = BodyModel::from_seed(26);

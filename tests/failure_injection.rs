@@ -7,11 +7,13 @@ use echoimage::core::EchoImageError;
 use echoimage::sim::{BeepCapture, BodyModel, Placement, Scene, SceneConfig};
 
 fn small_pipeline() -> EchoImagePipeline {
-    let mut cfg = PipelineConfig::default();
-    cfg.imaging = ImagingConfig {
-        grid_n: 12,
-        grid_spacing: 0.12,
-        ..ImagingConfig::default()
+    let cfg = PipelineConfig {
+        imaging: ImagingConfig {
+            grid_n: 12,
+            grid_spacing: 0.12,
+            ..ImagingConfig::default()
+        },
+        ..PipelineConfig::default()
     };
     EchoImagePipeline::new(cfg)
 }

@@ -14,11 +14,13 @@ use echoimage::core::pipeline::{EchoImagePipeline, PipelineConfig};
 use echoimage::sim::{BodyModel, Placement, Scatterer, Scene, SceneConfig};
 
 fn small_pipeline() -> EchoImagePipeline {
-    let mut cfg = PipelineConfig::default();
-    cfg.imaging = ImagingConfig {
-        grid_n: 16,
-        grid_spacing: 0.1,
-        ..ImagingConfig::default()
+    let cfg = PipelineConfig {
+        imaging: ImagingConfig {
+            grid_n: 16,
+            grid_spacing: 0.1,
+            ..ImagingConfig::default()
+        },
+        ..PipelineConfig::default()
     };
     EchoImagePipeline::new(cfg)
 }
@@ -96,15 +98,12 @@ fn bare_point_reflector_is_rejected() {
     let caps: Vec<_> = (0..3)
         .map(|b| scene.capture_beep_from(&point, 9, 50_000 + b))
         .collect();
-    match pipeline.features_from_train(&caps) {
-        Ok(feats) => {
-            let accepted = feats
-                .iter()
-                .filter(|f| auth.authenticate(f).is_accepted())
-                .count();
-            assert_eq!(accepted, 0, "point reflector accepted");
-        }
-        Err(_) => {}
+    if let Ok(feats) = pipeline.features_from_train(&caps) {
+        let accepted = feats
+            .iter()
+            .filter(|f| auth.authenticate(f).is_accepted())
+            .count();
+        assert_eq!(accepted, 0, "point reflector accepted");
     }
 }
 
@@ -117,14 +116,11 @@ fn empty_room_replay_is_rejected() {
     let auth = enrol(&scene, &pipeline, &user);
 
     let caps: Vec<_> = (0..3).map(|b| scene.capture_empty(9, 60_000 + b)).collect();
-    match pipeline.features_from_train(&caps) {
-        Ok(feats) => {
-            let accepted = feats
-                .iter()
-                .filter(|f| auth.authenticate(f).is_accepted())
-                .count();
-            assert_eq!(accepted, 0, "empty room accepted");
-        }
-        Err(_) => {}
+    if let Ok(feats) = pipeline.features_from_train(&caps) {
+        let accepted = feats
+            .iter()
+            .filter(|f| auth.authenticate(f).is_accepted())
+            .count();
+        assert_eq!(accepted, 0, "empty room accepted");
     }
 }

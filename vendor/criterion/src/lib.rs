@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches compile against
+//! (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!`) backed by a small wall-clock
+//! harness: each benchmark is auto-calibrated to a target duration and
+//! reports mean ns/iter. No statistics, plots, or baselines — just
+//! enough to compile under `cargo bench --no-run` and give usable
+//! relative numbers when actually run.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark; kept short because this
+/// harness reports a single mean rather than a distribution.
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Nominal sample count (scales the measuring window slightly).
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time (accepted for compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count for the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time (accepted for compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in this harness).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts both
+/// plain strings and explicit ids.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Calibrates an iteration count to roughly `TARGET_MEASURE`, runs the
+/// benchmark once at that count, and prints mean ns/iter.
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, _sample_size: usize, f: &mut F) {
+    // Calibration: grow the iteration count until one pass takes long
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let elapsed = b.elapsed;
+        if elapsed >= Duration::from_millis(10) || iters >= 1 << 24 {
+            break elapsed.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(4);
+    };
+
+    // Measurement pass sized to the target window.
+    let measure_iters =
+        ((TARGET_MEASURE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 28);
+    let mut b = Bencher {
+        iters: measure_iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / measure_iters as f64;
+
+    if ns_per_iter >= 1e6 {
+        println!("bench {label:<50} {:>12.3} ms/iter", ns_per_iter / 1e6);
+    } else if ns_per_iter >= 1e3 {
+        println!("bench {label:<50} {:>12.3} us/iter", ns_per_iter / 1e3);
+    } else {
+        println!("bench {label:<50} {ns_per_iter:>12.1} ns/iter");
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("forward", 1024);
+        assert_eq!(id.0, "forward/1024");
+        let id = BenchmarkId::from_parameter("Das");
+        assert_eq!(id.0, "Das");
+    }
+}

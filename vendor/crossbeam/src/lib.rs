@@ -1,0 +1,234 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Supplies the pieces this workspace uses: `crossbeam::channel`
+//! (MPMC unbounded/bounded channels built on a mutex + condvar) and
+//! `crossbeam::scope` (delegating to `std::thread::scope`). The
+//! channel disconnects when every `Sender` is dropped, which is what
+//! panic-safe fan-in collection relies on.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// The sending half of a channel. Cloning adds another producer.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a channel. Cloning adds another consumer.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    ///
+    /// This stand-in never reports send failure (receivers share the
+    /// queue's lifetime), but the type keeps call sites source-compatible.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] once the channel is empty
+    /// and every sender has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is currently empty but senders remain.
+        Empty,
+        /// Channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    /// Creates a channel with `_cap` ignored (behaves as unbounded).
+    ///
+    /// The workspace only uses capacity as a throughput hint, so the
+    /// stand-in does not block producers.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, waking one waiting receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
+            queue.push_back(value);
+            drop(queue);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::SeqCst);
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake everyone so they observe EOF.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.0.ready.wait(queue).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.0.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Drains the channel until disconnect, yielding values in order.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    /// Blocking iterator over received values; ends on disconnect.
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter(self)
+        }
+    }
+
+    /// Owning blocking iterator; ends on disconnect.
+    pub struct IntoIter<T>(Receiver<T>);
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+}
+
+/// Spawns a scope whose threads may borrow from the caller's stack,
+/// mirroring `crossbeam::scope` on top of `std::thread::scope`.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_preserves_all_messages() {
+        let (tx, rx) = channel::unbounded::<(usize, usize)>();
+        std::thread::scope(|s| {
+            for worker in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send((worker, i)).unwrap();
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut got: Vec<_> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), 400);
+        assert_eq!(got[0], (0, 0));
+        assert_eq!(got[399], (3, 99));
+    }
+
+    #[test]
+    fn recv_errors_after_last_sender_drops() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Thin wrappers over `std::sync` primitives with parking_lot's
+//! ergonomics: `lock()`/`read()`/`write()` return guards directly
+//! (poisoning is swallowed — a panicked writer's data stays usable,
+//! which matches parking_lot's no-poisoning semantics).
+
+use std::sync;
+
+/// RAII guard for [`Mutex`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Shared RAII guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive RAII guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+/// A mutual-exclusion lock that never poisons.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// A reader–writer lock that never poisons.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// One-time initialisation, parking_lot style.
+#[derive(Debug)]
+pub struct Once(sync::Once);
+
+impl Default for Once {
+    fn default() -> Self {
+        Once::new()
+    }
+}
+
+impl Once {
+    /// Creates a new `Once`.
+    pub const fn new() -> Self {
+        Once(sync::Once::new())
+    }
+
+    /// Runs `f` exactly once across all callers.
+    pub fn call_once<F: FnOnce()>(&self, f: F) {
+        self.0.call_once(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guards_shared_counter() {
+        let m = Arc::new(Mutex::new(0usize));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4_000);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_reads() {
+        let l = RwLock::new(7);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 14);
+        drop((a, b));
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors a small, self-contained subset of serde's public API — enough
+//! for the repo's `#[derive(Serialize, Deserialize)]` types and the
+//! `serde_json` round trips the evaluation artefacts rely on.
+//!
+//! Architecturally this is *not* upstream serde: instead of the
+//! serializer/deserializer visitor pair, every [`Serialize`] type lowers
+//! itself to a [`Value`] tree and every [`Deserialize`] type rebuilds
+//! itself from one. The JSON text layer lives in the sibling
+//! `serde_json` stub. Round trips are bit-exact for every type in this
+//! workspace (floats travel through Rust's shortest round-trip
+//! formatting).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialised value tree (the data model shared with `serde_json`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer (serialised without a fractional part).
+    I64(i64),
+    /// Non-negative integer (serialised without a fractional part).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+/// Deserialisation error: what was expected and what was found.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialisation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves to a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serialisation data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of the serialisation data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Mirror of `serde::de` for the `DeserializeOwned` bound used in tests.
+pub mod de {
+    /// Owned deserialisation marker; blanket-covers every
+    /// [`Deserialize`](crate::Deserialize) implementor, like upstream.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Mirror of `serde::ser` (upstream path compatibility).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+fn expected(what: &str, v: &Value) -> DeError {
+    DeError(format!("expected {what}, found {v:?}"))
+}
+
+/// Looks up a named field of an object value and deserialises it.
+/// Support routine for derived `Deserialize` impls.
+///
+/// # Errors
+///
+/// Returns [`DeError`] when `v` is not an object, the field is missing,
+/// or the field fails to deserialise.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v {
+        Value::Obj(entries) => match entries.iter().find(|(k, _)| k == name) {
+            Some((_, fv)) => {
+                T::from_value(fv).map_err(|e| DeError(format!("in field `{name}`: {}", e.0)))
+            }
+            None => Err(DeError(format!("missing field `{name}`"))),
+        },
+        other => Err(expected("object", other)),
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| expected(stringify!($t), v)),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| expected(stringify!($t), v)),
+                    other => Err(expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| expected(stringify!($t), v)),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| expected(stringify!($t), v)),
+                    other => Err(expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(expected("f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(expected("single-char string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:expr) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Arr(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(expected(concat!($len, "-tuple"), other)),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0; 1);
+impl_tuple!(A: 0, B: 1; 2);
+impl_tuple!(A: 0, B: 1, C: 2; 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3; 4);
+
+/// Map keys must serialise to / parse from plain strings (JSON objects).
+pub trait KeyCodec: Sized + Ord {
+    /// Renders the key for use as an object member name.
+    fn encode_key(&self) -> String;
+    /// Parses the key back from an object member name.
+    fn decode_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl KeyCodec for String {
+    fn encode_key(&self) -> String {
+        self.clone()
+    }
+    fn decode_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_owned())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl KeyCodec for $t {
+            fn encode_key(&self) -> String {
+                self.to_string()
+            }
+            fn decode_key(s: &str) -> Result<Self, DeError> {
+                s.parse()
+                    .map_err(|_| DeError(format!("bad integer key `{s}`")))
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: KeyCodec, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.encode_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: KeyCodec, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(k, fv)| Ok((K::decode_key(k)?, V::from_value(fv)?)))
+                .collect(),
+            other => Err(expected("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for v in [0.0f64, -1.5, 1e300, f64::MIN_POSITIVE] {
+            assert_eq!(
+                f64::from_value(&v.to_value()).unwrap().to_bits(),
+                v.to_bits()
+            );
+        }
+        assert_eq!(
+            usize::from_value(&usize::MAX.to_value()).unwrap(),
+            usize::MAX
+        );
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![(1usize, 2.5f64), (3, -4.0)];
+        let back: Vec<(usize, f64)> = Deserialize::from_value(&xs.to_value()).unwrap();
+        assert_eq!(back, xs);
+        let opt: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&opt.to_value()).unwrap(), None);
+    }
+}

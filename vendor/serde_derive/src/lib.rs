@@ -1,0 +1,354 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Derives the vendored serde stub's [`Serialize`]/[`Deserialize`]
+//! (value-tree) traits. Supports exactly the shapes this workspace
+//! uses: structs with named fields, and enums whose variants are unit
+//! or carry named fields. The only `#[serde(...)]` attribute honoured
+//! is `#[serde(skip)]` on struct fields (omitted when serialising,
+//! rebuilt via `Default` when deserialising); no generics — otherwise
+//! unsupported input is a compile error rather than silently wrong
+//! output.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`
+//! — those are registry crates this build environment cannot fetch).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+/// A named field plus whether `#[serde(skip)]` marked it.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// A variant name plus its named fields (`None` for unit variants).
+type Variant = (String, Option<Vec<Field>>);
+
+/// A parsed `struct`/`enum` item, reduced to what codegen needs.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "`{name}`: generic types are not supported by the vendored serde_derive"
+        ));
+    }
+    let body = loop {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "`{name}`: tuple structs are not supported by the vendored serde_derive"
+                ));
+            }
+            Some(_) => continue,
+            None => return Err(format!("`{name}`: missing body")),
+        }
+    };
+    match kw.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Skips leading attributes and visibility, reporting whether any
+/// attribute was `#[serde(skip)]`.
+fn skip_attrs_and_vis<I: Iterator<Item = TokenTree>>(it: &mut Peekable<I>) -> bool {
+    let mut serde_skip = false;
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // The `[...]` attribute body.
+                if let Some(TokenTree::Group(g)) = it.next() {
+                    serde_skip |= is_serde_skip(g.stream());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                // Optional `(crate)` etc.
+                if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    it.next();
+                }
+            }
+            _ => return serde_skip,
+        }
+    }
+}
+
+/// Recognises an attribute body of exactly `serde(skip)`.
+fn is_serde_skip(attr: TokenStream) -> bool {
+    let mut it = attr.into_iter();
+    match (it.next(), it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)), None)
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let mut inner = g.stream().into_iter();
+            matches!(
+                (inner.next(), inner.next()),
+                (Some(TokenTree::Ident(arg)), None) if arg.to_string() == "skip"
+            )
+        }
+        _ => false,
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        let skip = skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: commas nested in generics don't terminate it.
+        let mut angle_depth = 0i32;
+        for tt in it.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let mut fields = None;
+        match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                it.next();
+                fields = Some(parse_named_fields(inner)?);
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("variant `{name}`: tuple variants are not supported by the vendored serde_derive"));
+            }
+            _ => {}
+        }
+        // Consume up to and including the separating comma (also skips
+        // explicit discriminants, which carry no commas at this level).
+        for tt in it.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn serialize_impl(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                let f = &f.name;
+                let _ = write!(
+                    entries,
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Obj(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}\n"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                        );
+                    }
+                    Some(fs) => {
+                        let pat = fs
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut entries = String::new();
+                        for f in fs.iter().filter(|f| !f.skip) {
+                            let f = &f.name;
+                            let _ = write!(
+                                entries,
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f})),"
+                            );
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{v} {{ {pat} }} => ::serde::Value::Obj(::std::vec![(\
+                                 ::std::string::String::from(\"{v}\"),\
+                                 ::serde::Value::Obj(::std::vec![{entries}])\
+                             )]),"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}\n"
+            );
+        }
+    }
+    out
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let n = &f.name;
+                if f.skip {
+                    let _ = write!(inits, "{n}: ::core::default::Default::default(),");
+                } else {
+                    let _ = write!(inits, "{n}: ::serde::field(v, \"{n}\")?,");
+                }
+            }
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}\n"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => {
+                        let _ = write!(
+                            arms,
+                            "::serde::Value::Str(s) if s == \"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                        );
+                    }
+                    Some(fs) => {
+                        let mut inits = String::new();
+                        for f in fs {
+                            let n = &f.name;
+                            if f.skip {
+                                let _ = write!(inits, "{n}: ::core::default::Default::default(),");
+                            } else {
+                                let _ = write!(inits, "{n}: ::serde::field(inner, \"{n}\")?,");
+                            }
+                        }
+                        let _ = write!(
+                            arms,
+                            "::serde::Value::Obj(entries) if entries.len() == 1 && entries[0].0 == \"{v}\" => {{\
+                                 let inner = &entries[0].1;\
+                                 ::std::result::Result::Ok({name}::{v} {{ {inits} }})\
+                             }},"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError(\n\
+                                 ::std::format!(\"no variant of {name} matches {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            );
+        }
+    }
+    out
+}
+
+fn run(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("vendored serde_derive generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error emission failed"),
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    run(input, serialize_impl)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    run(input, deserialize_impl)
+}

@@ -202,6 +202,36 @@ impl MicArray {
         MicArray { positions }
     }
 
+    /// The sub-array holding only the listed microphones — used by
+    /// degraded-mode beamforming to image with the channels that survive
+    /// health screening. Keeping the original indices strictly
+    /// increasing preserves the channel↔position pairing of the parent
+    /// capture, and the subset's [`MicArray::geometry_fingerprint`]
+    /// differs from the full array's, so cached steering fields never
+    /// mix the two geometries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two indices are given, they are not strictly
+    /// increasing, or one is out of range.
+    pub fn subset(&self, indices: &[usize]) -> MicArray {
+        assert!(
+            indices.len() >= 2,
+            "an array needs at least two microphones"
+        );
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "microphone indices must be strictly increasing"
+        );
+        assert!(
+            indices.iter().all(|&i| i < self.positions.len()),
+            "microphone index out of range"
+        );
+        MicArray {
+            positions: indices.iter().map(|&i| self.positions[i]).collect(),
+        }
+    }
+
     /// Number of microphones `M`.
     pub fn len(&self) -> usize {
         self.positions.len()
@@ -375,6 +405,34 @@ mod tests {
         let diag = (0.08f64 * 0.08 + 0.06 * 0.06).sqrt();
         assert!((arr.aperture() - diag).abs() < 1e-12);
         assert!(arr.positions().iter().all(|p| p.z == 0.0));
+    }
+
+    #[test]
+    fn subset_preserves_positions_and_changes_fingerprint() {
+        let arr = MicArray::respeaker_6();
+        let sub = arr.subset(&[0, 2, 3, 5]);
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub.position(1), arr.position(2));
+        assert_ne!(
+            sub.geometry_fingerprint(),
+            arr.geometry_fingerprint(),
+            "sub-array must key caches separately"
+        );
+        // A full-mask subset is the identical geometry.
+        let full = arr.subset(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(full.geometry_fingerprint(), arr.geometry_fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_subset_rejected() {
+        let _ = MicArray::respeaker_6().subset(&[3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_mic_subset_rejected() {
+        let _ = MicArray::respeaker_6().subset(&[2]);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! differ in how repeatable their echoes are.
 
 use crate::error::EchoImageError;
+use crate::pipeline::EchoImagePipeline;
 use echo_ml::{Kernel, OneClassSvm, StandardScaler, SvmMulticlass};
+use echo_sim::BeepCapture;
 
 /// How the spoofer gate is trained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -168,6 +170,22 @@ impl Authenticator {
         if ids.len() != users.len() {
             return Err(EchoImageError::InvalidParameter("duplicate user ids"));
         }
+        // Guard the feature geometry up front: a ragged or zero-dim
+        // enrolment would otherwise panic deep inside the scaler/kernel.
+        let dim = users[0].1[0][0].len();
+        if dim == 0 {
+            return Err(EchoImageError::InvalidParameter(
+                "feature vectors are zero-dimensional",
+            ));
+        }
+        if users
+            .iter()
+            .any(|(_, gs)| gs.iter().any(|g| g.iter().any(|x| x.len() != dim)))
+        {
+            return Err(EchoImageError::InvalidParameter(
+                "feature vectors disagree in dimensionality",
+            ));
+        }
 
         let mut all: Vec<Vec<f64>> = Vec::new();
         let mut labels: Vec<usize> = Vec::new();
@@ -317,7 +335,8 @@ impl Authenticator {
     ///
     /// # Panics
     ///
-    /// Panics if `features` has the wrong dimensionality.
+    /// Panics if `features` has the wrong dimensionality; use
+    /// [`Authenticator::authenticate_checked`] to get an error instead.
     pub fn authenticate(&self, features: &[f64]) -> AuthDecision {
         let x = self.scaler.transform(features);
         let fired: Vec<usize> = self
@@ -358,6 +377,94 @@ impl Authenticator {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
+    /// [`Authenticator::authenticate`] with the dimensionality check
+    /// surfaced as an error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`EchoImageError::InvalidParameter`] when `features` does not
+    /// match the enrolled feature dimensionality.
+    pub fn authenticate_checked(&self, features: &[f64]) -> Result<AuthDecision, EchoImageError> {
+        if features.len() != self.scaler.dim() {
+            return Err(EchoImageError::InvalidParameter(
+                "feature vector does not match the enrolled dimensionality",
+            ));
+        }
+        Ok(self.authenticate(features))
+    }
+
+    /// Authenticates a whole raw beep train through the degraded-capable
+    /// pipeline: the train is health-screened, imaged from the surviving
+    /// microphones, each beep's features are authenticated, and the
+    /// per-beep decisions are majority-voted (a strict majority of beeps
+    /// must accept the *same* user).
+    ///
+    /// # Errors
+    ///
+    /// * [`EchoImageError::DegradedCapture`] — too few healthy
+    ///   microphones survived screening; retry with a fresh train (see
+    ///   [`Authenticator::authenticate_train_with_retry`]).
+    /// * Everything [`EchoImagePipeline::features_from_train_degraded`]
+    ///   and [`Authenticator::authenticate_checked`] can return.
+    pub fn authenticate_train(
+        &self,
+        pipeline: &EchoImagePipeline,
+        captures: &[BeepCapture],
+    ) -> Result<AuthDecision, EchoImageError> {
+        let (features, _health) = pipeline.features_from_train_degraded(captures)?;
+        let mut counts: Vec<(usize, usize)> = Vec::new();
+        for f in &features {
+            if let AuthDecision::Accepted { user_id } = self.authenticate_checked(f)? {
+                match counts.iter_mut().find(|(id, _)| *id == user_id) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((user_id, 1)),
+                }
+            }
+        }
+        Ok(counts
+            .iter()
+            .max_by_key(|(_, n)| *n)
+            .filter(|(_, n)| 2 * n > features.len())
+            .map(|(id, _)| AuthDecision::Accepted { user_id: *id })
+            .unwrap_or(AuthDecision::Rejected))
+    }
+
+    /// [`Authenticator::authenticate_train`] with retry-on-degraded
+    /// semantics: `provider(attempt)` supplies a fresh raw train for
+    /// each attempt (attempt numbers start at 0), and only
+    /// [`EchoImageError::DegradedCapture`] triggers a retry — any other
+    /// error, and any decision, returns immediately. A smart speaker
+    /// would re-beep here; the eval harness re-captures.
+    ///
+    /// # Errors
+    ///
+    /// The last [`EchoImageError::DegradedCapture`] once
+    /// [`RetryPolicy::max_attempts`] trains have all been rejected as
+    /// degraded, or the first non-degraded error.
+    pub fn authenticate_train_with_retry<F>(
+        &self,
+        pipeline: &EchoImagePipeline,
+        policy: &RetryPolicy,
+        mut provider: F,
+    ) -> Result<AuthDecision, EchoImageError>
+    where
+        F: FnMut(usize) -> Vec<BeepCapture>,
+    {
+        let attempts = policy.max_attempts.max(1);
+        let mut last = EchoImageError::DegradedCapture {
+            healthy: 0,
+            required: 0,
+        };
+        for attempt in 0..attempts {
+            let captures = provider(attempt);
+            match self.authenticate_train(pipeline, &captures) {
+                Err(e @ EchoImageError::DegradedCapture { .. }) => last = e,
+                other => return other,
+            }
+        }
+        Err(last)
+    }
+
     /// Registered user ids.
     pub fn user_ids(&self) -> Vec<usize> {
         match (&self.classifier, self.single_user) {
@@ -365,6 +472,26 @@ impl Authenticator {
             (None, Some(id)) => vec![id],
             (None, None) => unreachable!("enroll guarantees one of the two"),
         }
+    }
+}
+
+/// How many beep trains an authentication attempt may consume before a
+/// degraded capture becomes a hard rejection.
+///
+/// Only [`EchoImageError::DegradedCapture`] is retried — a capture with
+/// too few healthy microphones is a transient hardware/occlusion
+/// condition worth one more beep, whereas every other error is
+/// deterministic and would fail identically on retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RetryPolicy {
+    /// Total trains attempted, including the first (minimum 1).
+    pub max_attempts: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 2 }
     }
 }
 
@@ -537,5 +664,34 @@ mod tests {
             &AuthConfig::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn enrol_rejects_degenerate_feature_geometry() {
+        // Zero-dimensional features.
+        let zero_dim = vec![(1usize, vec![Vec::<f64>::new(); 5])];
+        let err = Authenticator::enroll(&zero_dim, &AuthConfig::default()).unwrap_err();
+        assert!(matches!(err, EchoImageError::InvalidParameter(_)));
+        // Ragged dimensionality across users.
+        let ragged = vec![
+            (1usize, vec![vec![0.0, 0.0]; 5]),
+            (2usize, vec![vec![1.0, 1.0, 1.0]; 5]),
+        ];
+        let err = Authenticator::enroll(&ragged, &AuthConfig::default()).unwrap_err();
+        assert!(matches!(err, EchoImageError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn authenticate_checked_rejects_wrong_dimensionality() {
+        let auth = Authenticator::enroll(&[(1, cluster(0.0, 0.0, 20, 3))], &AuthConfig::default())
+            .unwrap();
+        let err = auth.authenticate_checked(&[0.0, 0.0, 0.0]).unwrap_err();
+        assert!(matches!(err, EchoImageError::InvalidParameter(_)));
+        assert!(auth.authenticate_checked(&[0.0, 0.05]).is_ok());
+    }
+
+    #[test]
+    fn retry_policy_defaults_to_one_retry() {
+        assert_eq!(RetryPolicy::default().max_attempts, 2);
     }
 }

@@ -1,5 +1,6 @@
 //! Pipeline configuration (the paper's §V-A parameter choices).
 
+pub use crate::health::HealthConfig;
 use echo_dsp::chirp::LfmChirp;
 
 /// Probing-beep parameters (paper §V-A).
@@ -223,6 +224,8 @@ pub struct PipelineConfig {
     pub bandpass_order: usize,
     /// Source of the MVDR noise covariance.
     pub covariance: CovarianceMode,
+    /// Channel-health screening thresholds for degraded-mode imaging.
+    pub health: HealthConfig,
     /// Worker threads for the imaging hot paths: `0` uses the machine's
     /// available parallelism, `1` forces the serial reference path,
     /// `n ≥ 2` uses exactly `n` threads. Results are bit-identical at
@@ -239,6 +242,7 @@ impl PipelineConfig {
             imaging: ImagingConfig::default(),
             bandpass_order: 4,
             covariance: CovarianceMode::Isotropic,
+            health: HealthConfig::default(),
             threads: 0,
         }
     }

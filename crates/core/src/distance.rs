@@ -78,6 +78,9 @@ pub fn estimate_distance(
             "array geometry does not match the capture channel count",
         ));
     }
+    if n == 0 {
+        return Err(EchoImageError::InvalidParameter("captures hold no samples"));
+    }
 
     let dcfg = &config.distance;
     let look = Direction::new(dcfg.azimuth, dcfg.elevation);
@@ -405,6 +408,15 @@ mod tests {
         let err = estimate_distance(&[a, short], &MicArray::respeaker_6(), pipeline.config())
             .unwrap_err();
         assert_eq!(err, EchoImageError::InconsistentCaptures);
+    }
+
+    #[test]
+    fn zero_sample_captures_error_instead_of_panicking() {
+        let empty = BeepCapture::new(vec![Vec::new(); 6], 48_000.0, 0);
+        let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+        let err =
+            estimate_distance(&[empty], &MicArray::respeaker_6(), pipeline.config()).unwrap_err();
+        assert!(matches!(err, EchoImageError::InvalidParameter(_)));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::augment::augment_sweep;
 use crate::error::EchoImageError;
+use crate::health::ChannelHealth;
 use crate::pipeline::EchoImagePipeline;
 use echo_sim::BeepCapture;
 
@@ -99,6 +100,54 @@ pub fn enrollment_features(
     Ok(features)
 }
 
+/// [`enrollment_features`] with channel-health screening: microphones
+/// that are unhealthy in *any* visit are excised, and the whole recipe
+/// (ranging, plane diversity, augmentation) runs on the surviving
+/// subset. A hardware fault is persistent, so a user enrolling on a
+/// degraded device builds their template in the same mic-subset feature
+/// space their authentication probes will occupy.
+///
+/// Returns the features together with the pooled [`ChannelHealth`] so
+/// the caller can record which microphones the template excludes.
+///
+/// # Errors
+///
+/// * [`EchoImageError::DegradedCapture`] — too few healthy microphones
+///   to enrol at all.
+/// * Everything [`enrollment_features`] can return.
+pub fn enrollment_features_degraded(
+    pipeline: &EchoImagePipeline,
+    visits: &[Vec<BeepCapture>],
+    config: &EnrollmentConfig,
+) -> Result<(Vec<Vec<f64>>, ChannelHealth), EchoImageError> {
+    if visits.is_empty() || visits.iter().any(|v| v.is_empty()) {
+        return Err(EchoImageError::NoCaptures);
+    }
+    let all: Vec<BeepCapture> = visits.iter().flatten().cloned().collect();
+    let health = pipeline.screen_train(&all)?;
+    if health.all_healthy() {
+        return Ok((enrollment_features(pipeline, visits, config)?, health));
+    }
+    let healthy = health.healthy_indices();
+    let required = pipeline.config().health.min_mics.max(2);
+    if healthy.len() < required {
+        return Err(EchoImageError::DegradedCapture {
+            healthy: healthy.len(),
+            required,
+        });
+    }
+    let sub_pipeline =
+        EchoImagePipeline::with_array(pipeline.config().clone(), pipeline.array().subset(&healthy));
+    let sub_visits: Vec<Vec<BeepCapture>> = visits
+        .iter()
+        .map(|v| v.iter().map(|c| c.select_channels(&healthy)).collect())
+        .collect();
+    Ok((
+        enrollment_features(&sub_pipeline, &sub_visits, config)?,
+        health,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +226,14 @@ mod tests {
         )
         .unwrap();
         assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn zero_sample_visit_errors_instead_of_panicking() {
+        let p = small_pipeline();
+        let degenerate = vec![vec![BeepCapture::new(vec![Vec::new(); 6], 48_000.0, 0)]];
+        let err = enrollment_features(&p, &degenerate, &EnrollmentConfig::default()).unwrap_err();
+        assert!(matches!(err, EchoImageError::InvalidParameter(_)));
     }
 
     #[test]

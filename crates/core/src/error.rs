@@ -20,6 +20,14 @@ pub enum EchoImageError {
     InconsistentCaptures,
     /// A parameter was out of its valid range.
     InvalidParameter(&'static str),
+    /// Health screening left fewer microphones than degraded-mode
+    /// imaging needs — the capture must be rejected (and retried).
+    DegradedCapture {
+        /// Microphones that survived screening.
+        healthy: usize,
+        /// Minimum the pipeline requires.
+        required: usize,
+    },
 }
 
 impl fmt::Display for EchoImageError {
@@ -44,6 +52,13 @@ impl fmt::Display for EchoImageError {
             }
             EchoImageError::InvalidParameter(what) => {
                 write!(f, "invalid parameter: {what}")
+            }
+            EchoImageError::DegradedCapture { healthy, required } => {
+                write!(
+                    f,
+                    "capture too degraded: {healthy} healthy microphones, \
+                     {required} required"
+                )
             }
         }
     }

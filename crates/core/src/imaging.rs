@@ -80,6 +80,11 @@ pub fn construct_image_with_covariance(
             "array geometry does not match the capture channel count",
         ));
     }
+    if capture.is_empty() {
+        // A zero-sample capture would silently image to all-black; the
+        // fault layer produces exactly these, so fail loudly instead.
+        return Err(EchoImageError::InvalidParameter("capture holds no samples"));
+    }
 
     let icfg = &config.imaging;
     let fs = capture.sample_rate();
@@ -151,6 +156,63 @@ pub fn construct_image_with_covariance(
         }
     }
     Ok(image)
+}
+
+/// [`construct_image`] restricted to a microphone subset: the capture's
+/// channels and the array's elements are both narrowed to `healthy`
+/// (ascending original indices, at least two) before imaging, so a
+/// capture with faulted channels images from its surviving microphones
+/// instead of letting a dead or saturated element poison the sweep.
+/// With a full mask this is exactly [`construct_image`].
+///
+/// # Errors
+///
+/// [`EchoImageError::InvalidParameter`] for a malformed mask (empty,
+/// unsorted, out of range, or fewer than two survivors), plus every
+/// [`construct_image`] error.
+pub fn construct_image_masked(
+    capture: &BeepCapture,
+    array: &MicArray,
+    healthy: &[usize],
+    horizontal_distance: f64,
+    config: &PipelineConfig,
+) -> Result<GrayImage, EchoImageError> {
+    validate_mask(capture, array, healthy)?;
+    if healthy.len() == array.len() {
+        return construct_image(capture, array, horizontal_distance, config);
+    }
+    let sub_capture = capture.select_channels(healthy);
+    let sub_array = array.subset(healthy);
+    construct_image(&sub_capture, &sub_array, horizontal_distance, config)
+}
+
+/// Checks a mic-subset mask against a capture/array pair.
+pub(crate) fn validate_mask(
+    capture: &BeepCapture,
+    array: &MicArray,
+    healthy: &[usize],
+) -> Result<(), EchoImageError> {
+    if capture.num_channels() != array.len() {
+        return Err(EchoImageError::InvalidParameter(
+            "array geometry does not match the capture channel count",
+        ));
+    }
+    if healthy.len() < 2 {
+        return Err(EchoImageError::InvalidParameter(
+            "a mic-subset mask needs at least two microphones",
+        ));
+    }
+    if !healthy.windows(2).all(|w| w[0] < w[1]) {
+        return Err(EchoImageError::InvalidParameter(
+            "mic-subset mask must be strictly increasing",
+        ));
+    }
+    if healthy.iter().any(|&m| m >= array.len()) {
+        return Err(EchoImageError::InvalidParameter(
+            "mic-subset mask names a microphone outside the array",
+        ));
+    }
+    Ok(())
 }
 
 /// The cell-to-origin distance `D_k = √(x_k² + D_p² + z_k²)` used both by

@@ -49,13 +49,15 @@ pub mod enrollment;
 mod error;
 pub mod features;
 pub mod fusion;
+pub mod health;
 pub mod imaging;
 pub mod par;
 pub mod pipeline;
 pub mod steering_cache;
 
-pub use auth::{AuthDecision, Authenticator};
+pub use auth::{AuthDecision, Authenticator, RetryPolicy};
 pub use config::{BeepConfig, ImagingConfig, PipelineConfig};
 pub use distance::DistanceEstimate;
 pub use error::EchoImageError;
+pub use health::{ChannelFlaw, ChannelHealth, HealthConfig};
 pub use pipeline::EchoImagePipeline;

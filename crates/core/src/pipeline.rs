@@ -9,6 +9,7 @@ pub use crate::config::PipelineConfig;
 use crate::distance::{estimate_distance, DistanceEstimate};
 use crate::error::EchoImageError;
 use crate::features::ImageFeatures;
+use crate::health::ChannelHealth;
 use crate::imaging::construct_image;
 use crate::par::parallel_map_indexed;
 use echo_array::MicArray;
@@ -42,6 +43,10 @@ pub struct EchoImagePipeline {
     features: ImageFeatures,
     bandpass: SosFilter,
 }
+
+/// `None` when every channel is healthy (normal path applies); the
+/// mic-subset captures and matching subset pipeline otherwise.
+type DegradedRoute = Option<(Vec<BeepCapture>, EchoImagePipeline)>;
 
 impl EchoImagePipeline {
     /// Builds the pipeline for the paper's prototype array geometry.
@@ -214,6 +219,114 @@ impl EchoImagePipeline {
     ) -> Result<Vec<Vec<f64>>, EchoImageError> {
         let (images, _) = self.images_from_train(captures)?;
         Ok(images.iter().map(|i| self.features(i)).collect())
+    }
+
+    /// Screens the train for channel faults.
+    ///
+    /// Pass **raw** captures: the band-pass filter would strip exactly
+    /// the evidence the screen looks for (DC offsets, clipping rails,
+    /// out-of-band bursts).
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::health::screen_train`].
+    pub fn screen_train(&self, captures: &[BeepCapture]) -> Result<ChannelHealth, EchoImageError> {
+        crate::health::screen_train(captures, &self.config.health)
+    }
+
+    /// Screens the train and, when channels must be excised, builds the
+    /// mic-subset captures and pipeline. `Ok((None, health))` means every
+    /// channel passed and the normal path applies unchanged.
+    fn degraded_route(
+        &self,
+        captures: &[BeepCapture],
+    ) -> Result<(DegradedRoute, ChannelHealth), EchoImageError> {
+        let health = self.screen_train(captures)?;
+        if health.all_healthy() {
+            return Ok((None, health));
+        }
+        let healthy = health.healthy_indices();
+        let required = self.config.health.min_mics.max(2);
+        if healthy.len() < required {
+            return Err(EchoImageError::DegradedCapture {
+                healthy: healthy.len(),
+                required,
+            });
+        }
+        let sub_captures: Vec<BeepCapture> = captures
+            .iter()
+            .map(|c| c.select_channels(&healthy))
+            .collect();
+        let sub_pipeline =
+            EchoImagePipeline::with_array(self.config.clone(), self.array.subset(&healthy));
+        Ok((Some((sub_captures, sub_pipeline)), health))
+    }
+
+    /// [`EchoImagePipeline::images_from_train`] with channel-health
+    /// screening: faulted microphones are excised and the train is imaged
+    /// from the surviving subset.
+    ///
+    /// When every channel passes the screen this delegates to the normal
+    /// path, so healthy captures produce bit-identical images. When some
+    /// channels fail but at least `max(min_mics, 2)` survive, the
+    /// captures and the array geometry are both narrowed to the
+    /// survivors and imaged as usual (the subset array has its own
+    /// geometry fingerprint, so steering-field cache entries never mix).
+    ///
+    /// # Errors
+    ///
+    /// * [`EchoImageError::DegradedCapture`] — too few healthy
+    ///   microphones; reject the capture and retry.
+    /// * Everything [`EchoImagePipeline::images_from_train`] and
+    ///   [`EchoImagePipeline::screen_train`] can return.
+    pub fn images_from_train_degraded(
+        &self,
+        captures: &[BeepCapture],
+    ) -> Result<(Vec<GrayImage>, DistanceEstimate, ChannelHealth), EchoImageError> {
+        let (route, health) = self.degraded_route(captures)?;
+        let (images, estimate) = match &route {
+            None => self.images_from_train(captures)?,
+            Some((sub_captures, sub_pipeline)) => sub_pipeline.images_from_train(sub_captures)?,
+        };
+        Ok((images, estimate, health))
+    }
+
+    /// [`EchoImagePipeline::images_from_train_multi_plane`] through the
+    /// degraded path — plane-diverse enrolment imaging that excises
+    /// faulted microphones the same way
+    /// [`EchoImagePipeline::images_from_train_degraded`] does.
+    ///
+    /// # Errors
+    ///
+    /// See [`EchoImagePipeline::images_from_train_degraded`].
+    pub fn images_from_train_multi_plane_degraded(
+        &self,
+        captures: &[BeepCapture],
+        plane_offsets: &[f64],
+    ) -> Result<(Vec<GrayImage>, DistanceEstimate, ChannelHealth), EchoImageError> {
+        let (route, health) = self.degraded_route(captures)?;
+        let (images, estimate) = match &route {
+            None => self.images_from_train_multi_plane(captures, plane_offsets)?,
+            Some((sub_captures, sub_pipeline)) => {
+                sub_pipeline.images_from_train_multi_plane(sub_captures, plane_offsets)?
+            }
+        };
+        Ok((images, estimate, health))
+    }
+
+    /// [`EchoImagePipeline::features_from_train`] through the degraded
+    /// path: screen, excise faulted microphones, image from the
+    /// survivors, extract features.
+    ///
+    /// # Errors
+    ///
+    /// See [`EchoImagePipeline::images_from_train_degraded`].
+    pub fn features_from_train_degraded(
+        &self,
+        captures: &[BeepCapture],
+    ) -> Result<(Vec<Vec<f64>>, ChannelHealth), EchoImageError> {
+        let (images, _, health) = self.images_from_train_degraded(captures)?;
+        Ok((images.iter().map(|i| self.features(i)).collect(), health))
     }
 }
 

@@ -128,6 +128,30 @@ pub fn steering_field(
     field
 }
 
+/// [`steering_field`] for a microphone subset of `array`: the array is
+/// narrowed to the `healthy` elements (ascending original indices, at
+/// least two) before the lookup. The subset geometry carries its own
+/// fingerprint, so degraded sweeps get their own cache entries — and a
+/// full mask resolves to the very same entry as the unmasked call,
+/// because the fingerprints coincide.
+///
+/// # Panics
+///
+/// Panics if the mask is malformed (see [`MicArray::subset`]); callers
+/// should validate the mask against the channel-health screen first.
+pub fn steering_field_masked(
+    array: &MicArray,
+    healthy: &[usize],
+    icfg: &ImagingConfig,
+    horizontal_distance: f64,
+    f0: f64,
+) -> Arc<SteeringField> {
+    if healthy.len() == array.len() {
+        return steering_field(array, icfg, horizontal_distance, f0);
+    }
+    steering_field(&array.subset(healthy), icfg, horizontal_distance, f0)
+}
+
 /// Number of geometries currently cached (for tests and benchmarks).
 pub fn cache_len() -> usize {
     CACHE.lock().len()
@@ -188,6 +212,32 @@ mod tests {
         let linear = MicArray::linear(6, 0.04);
         let d = steering_field(&linear, &cfg, 0.70, 2_500.0);
         assert!(!Arc::ptr_eq(&a, &d));
+    }
+
+    #[test]
+    fn masked_lookup_shares_and_separates_entries_correctly() {
+        let array = MicArray::respeaker_6();
+        let cfg = icfg(4);
+        // Full mask: same entry as the unmasked lookup.
+        let full = steering_field(&array, &cfg, 0.68, 2_500.0);
+        let masked_full = steering_field_masked(&array, &[0, 1, 2, 3, 4, 5], &cfg, 0.68, 2_500.0);
+        assert!(Arc::ptr_eq(&full, &masked_full));
+        // Proper subset: its own entry, bit-identical to a fresh compute
+        // on the subset geometry.
+        let sub = steering_field_masked(&array, &[0, 2, 3, 5], &cfg, 0.68, 2_500.0);
+        assert!(!Arc::ptr_eq(&full, &sub));
+        let fresh = compute_field(&array.subset(&[0, 2, 3, 5]), &cfg, 0.68, 2_500.0);
+        for row in 0..cfg.grid_n {
+            for col in 0..cfg.grid_n {
+                let (c, f) = (sub.cell(col, row), fresh.cell(col, row));
+                assert_eq!(c.distance.to_bits(), f.distance.to_bits());
+                assert_eq!(c.steering.len(), 4);
+                for (x, y) in c.steering.iter().zip(f.steering.iter()) {
+                    assert_eq!(x.re.to_bits(), y.re.to_bits());
+                    assert_eq!(x.im.to_bits(), y.im.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -115,6 +115,7 @@ pub fn run(config: &Config) -> Result<Output, EchoImageError> {
                 beep_offset: batches as u64 * 1_000,
                 mic_gain_error_db: 0.0,
                 mic_timing_error: 0.0,
+                faults: echo_sim::FaultPlan::none(),
             };
             let (images, est) =
                 harness.images_multi_plane(&profile.body(), &spec, &PLANE_OFFSETS)?;
@@ -155,6 +156,7 @@ pub fn run(config: &Config) -> Result<Output, EchoImageError> {
                     beep_offset: 40_000 + profile.id as u64 * 101 + (d * 977.0) as u64,
                     mic_gain_error_db: 0.0,
                     mic_timing_error: 0.0,
+                    faults: echo_sim::FaultPlan::none(),
                 };
                 if let Ok(f) = harness.features_for(&profile.body(), &spec) {
                     features.extend(f);

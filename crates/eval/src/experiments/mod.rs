@@ -8,6 +8,7 @@
 
 pub mod ablation_classifiers;
 pub mod ablation_grid;
+pub mod fault_sweep;
 pub mod fig05;
 pub mod fig08;
 pub mod fig11;

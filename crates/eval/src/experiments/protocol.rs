@@ -73,7 +73,9 @@ pub fn enroll(
     cfg: &ProtocolConfig,
 ) -> Result<Authenticator, EchoImageError> {
     use echo_sim::Placement;
-    use echoimage_core::enrollment::{enrollment_features, EnrollmentConfig};
+    use echoimage_core::enrollment::{
+        enrollment_features, enrollment_features_degraded, EnrollmentConfig,
+    };
 
     let batch = cfg.enroll_batch.max(1);
     let recipe = EnrollmentConfig {
@@ -103,17 +105,28 @@ pub fn enroll(
                 ..spec.clone()
             };
             let scene = harness.scene(&train_spec);
-            visits.push(scene.capture_train(
+            let captures = scene.capture_train(
                 &body,
                 &Placement::standing_front(train_spec.distance),
                 train_spec.session,
                 beeps,
                 train_spec.beep_offset,
-            ));
+            );
+            visits.push(if train_spec.faults.is_empty() {
+                captures
+            } else {
+                train_spec.faults.apply_train(&captures)
+            });
             remaining -= beeps;
             batch_idx += 1;
         }
-        let feats = enrollment_features(&worker, &visits, &recipe)?;
+        // A faulted device enrols through the health screen, excising
+        // its bad microphones just as authentication will.
+        let feats = if spec.faults.is_empty() {
+            enrollment_features(&worker, &visits, &recipe)?
+        } else {
+            enrollment_features_degraded(&worker, &visits, &recipe)?.0
+        };
         Ok((profile.id as usize, feats))
     });
     let users = per_user

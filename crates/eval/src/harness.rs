@@ -7,7 +7,10 @@
 //! experiment runner shares.
 
 use echo_ml::GrayImage;
-use echo_sim::{BodyModel, EnvironmentKind, NoiseKind, Placement, Scene, SceneConfig, UserProfile};
+use echo_sim::{
+    BeepCapture, BodyModel, EnvironmentKind, FaultPlan, NoiseKind, Placement, Scene, SceneConfig,
+    UserProfile,
+};
 use echoimage_core::par::parallel_map_indexed;
 use echoimage_core::pipeline::{EchoImagePipeline, PipelineConfig};
 use echoimage_core::{DistanceEstimate, EchoImageError};
@@ -32,6 +35,10 @@ pub struct CaptureSpec {
     pub mic_gain_error_db: f64,
     /// Per-microphone timing mismatch std, seconds.
     pub mic_timing_error: f64,
+    /// Channel faults injected into every captured train. An empty plan
+    /// leaves the capture path byte-for-byte unchanged; a non-empty plan
+    /// routes imaging through the degraded (health-screened) pipeline.
+    pub faults: FaultPlan,
 }
 
 impl CaptureSpec {
@@ -46,6 +53,7 @@ impl CaptureSpec {
             beep_offset: 0,
             mic_gain_error_db: 0.0,
             mic_timing_error: 0.0,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -154,6 +162,12 @@ impl Harness {
         body: &BodyModel,
         spec: &CaptureSpec,
     ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
+        let captures = self.capture_train(body, spec);
+        Self::route_images(&self.pipeline, spec, &captures)
+    }
+
+    /// Captures the spec's train with its fault plan applied.
+    fn capture_train(&self, body: &BodyModel, spec: &CaptureSpec) -> Vec<BeepCapture> {
         let scene = self.scene(spec);
         let captures = scene.capture_train(
             body,
@@ -162,7 +176,28 @@ impl Harness {
             spec.beeps,
             spec.beep_offset,
         );
-        self.pipeline.images_from_train(&captures)
+        if spec.faults.is_empty() {
+            captures
+        } else {
+            spec.faults.apply_train(&captures)
+        }
+    }
+
+    /// Routes a train through the normal or degraded imaging path. Only
+    /// specs with a non-empty fault plan pay for health screening; the
+    /// clean path is exactly the pre-fault-layer behaviour.
+    fn route_images(
+        pipeline: &EchoImagePipeline,
+        spec: &CaptureSpec,
+        captures: &[BeepCapture],
+    ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
+        if spec.faults.is_empty() {
+            pipeline.images_from_train(captures)
+        } else {
+            pipeline
+                .images_from_train_degraded(captures)
+                .map(|(images, est, _)| (images, est))
+        }
     }
 
     /// Like [`Harness::images_for`], with extra images constructed at
@@ -178,16 +213,15 @@ impl Harness {
         spec: &CaptureSpec,
         plane_offsets: &[f64],
     ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
-        let scene = self.scene(spec);
-        let captures = scene.capture_train(
-            body,
-            &Placement::standing_front(spec.distance),
-            spec.session,
-            spec.beeps,
-            spec.beep_offset,
-        );
-        self.pipeline
-            .images_from_train_multi_plane(&captures, plane_offsets)
+        let captures = self.capture_train(body, spec);
+        if spec.faults.is_empty() {
+            self.pipeline
+                .images_from_train_multi_plane(&captures, plane_offsets)
+        } else {
+            self.pipeline
+                .images_from_train_multi_plane_degraded(&captures, plane_offsets)
+                .map(|(images, est, _)| (images, est))
+        }
     }
 
     /// Captures and converts straight to feature vectors.
@@ -235,15 +269,8 @@ impl Harness {
     ) -> Vec<Result<Vec<Vec<f64>>, EchoImageError>> {
         let worker = self.worker_pipeline();
         parallel_map_indexed(jobs, self.threads, |_, (profile, spec)| {
-            let scene = self.scene(spec);
-            let captures = scene.capture_train(
-                &profile.body(),
-                &Placement::standing_front(spec.distance),
-                spec.session,
-                spec.beeps,
-                spec.beep_offset,
-            );
-            let (images, _) = worker.images_from_train(&captures)?;
+            let captures = self.capture_train(&profile.body(), spec);
+            let (images, _) = Self::route_images(&worker, spec, &captures)?;
             Ok(images.iter().map(|i| worker.features(i)).collect())
         })
     }

@@ -33,6 +33,14 @@ pub struct RocCurve {
 /// Sweeps every distinct score as a threshold over genuine and impostor
 /// gate scores (higher = more genuine).
 ///
+/// The sweep covers both curve endpoints: the lowest observed score
+/// accepts everything — (FAR, FRR) = (1, 0) — and a sentinel threshold
+/// just past the highest score rejects everything — (FAR, FRR) =
+/// (0, 1). Without the sentinel the curve would stop at the last
+/// observed score, which still accepts at least one sample, so the
+/// (0, 1) corner every ROC is defined to reach would be missing and
+/// trapezoidal integrations over the points would come up short.
+///
 /// # Panics
 ///
 /// Panics if either score list is empty.
@@ -44,6 +52,14 @@ pub fn roc_curve(genuine: &[f64], impostor: &[f64]) -> RocCurve {
     let mut thresholds: Vec<f64> = genuine.iter().chain(impostor.iter()).copied().collect();
     thresholds.sort_by(f64::total_cmp);
     thresholds.dedup();
+    // Finite sentinel (not f64::INFINITY — the curve is serialised, and
+    // JSON has no infinity) strictly above the maximum score.
+    if let Some(&max) = thresholds.last() {
+        let sentinel = max.next_up();
+        if sentinel > max && sentinel.is_finite() {
+            thresholds.push(sentinel);
+        }
+    }
 
     let mut points = Vec::with_capacity(thresholds.len());
     let mut eer = 1.0;
@@ -136,5 +152,21 @@ mod tests {
     #[should_panic(expected = "ROC needs")]
     fn empty_scores_panic() {
         let _ = roc_curve(&[], &[1.0]);
+    }
+
+    #[test]
+    fn curve_reaches_both_endpoints() {
+        // Regression: the sweep used to stop at the highest observed
+        // score, which still accepts that score's sample — the (0, 1)
+        // corner was never emitted.
+        let genuine = [0.5, 1.0, 2.0];
+        let impostor = [-1.0, 0.0, 0.8];
+        let roc = roc_curve(&genuine, &impostor);
+        let first = roc.points.first().unwrap();
+        assert_eq!((first.far, first.frr), (1.0, 0.0), "accept-all endpoint");
+        let last = roc.points.last().unwrap();
+        assert_eq!((last.far, last.frr), (0.0, 1.0), "reject-all endpoint");
+        assert!(last.threshold.is_finite(), "sentinel must serialise");
+        assert!(last.threshold > 2.0);
     }
 }

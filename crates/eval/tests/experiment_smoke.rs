@@ -2,8 +2,10 @@
 //! scale and produces structurally sound output. (Full-scale runs are
 //! the `echo-bench` binaries.)
 
-use echo_eval::experiments::{fig05, fig08, fig11, fig12, fig13, fig14, protocol, table1};
-use echo_sim::NoiseKind;
+use echo_eval::experiments::{
+    fault_sweep, fig05, fig08, fig11, fig12, fig13, fig14, protocol, table1,
+};
+use echo_sim::{FaultKind, NoiseKind};
 
 fn tiny_protocol() -> protocol::ProtocolConfig {
     protocol::ProtocolConfig {
@@ -93,6 +95,33 @@ fn fig13_smoke() {
     let series = out.f_measure_series(NoiseKind::Quiet);
     assert_eq!(series.len(), 2);
     assert!(series[0].0 < series[1].0, "ordered by distance");
+}
+
+#[test]
+fn fault_sweep_smoke() {
+    let out = fault_sweep::run(&fault_sweep::Config {
+        seed: 5,
+        users: 2,
+        spoofers: 1,
+        kinds: vec![FaultKind::Dead],
+        severities: vec![1.0],
+        faulted_mic_counts: vec![1, 4],
+        protocol: tiny_protocol(),
+    })
+    .expect("fault_sweep failed");
+    assert!(out.baseline_eer >= 0.0 && out.baseline_eer <= 1.0);
+    assert_eq!(out.points.len(), 2);
+    // One dead mic: the subset path scores every probe.
+    let p1 = &out.points[0];
+    assert_eq!(p1.faulted_mics, 1);
+    assert_eq!(p1.degraded_rejects, 0);
+    assert!(p1.genuine_scores > 0 && p1.impostor_scores > 0);
+    // Four dead mics: below min_mics, every probe is rejected before
+    // scoring and the conventions kick in.
+    let p4 = &out.points[1];
+    assert_eq!(p4.faulted_mics, 4);
+    assert_eq!(p4.degraded_rejects, 3, "2 genuine + 1 spoofer probes");
+    assert_eq!((p4.eer, p4.auc), (1.0, 0.5));
 }
 
 #[test]

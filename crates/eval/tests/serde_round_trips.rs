@@ -1,7 +1,7 @@
 //! Serde round-trips for every serialisable configuration and result
 //! type: experiment artefacts must reload bit-identically.
 
-use echo_eval::experiments::{fig11, fig12, fig13, fig14, protocol::ProtocolConfig};
+use echo_eval::experiments::{fault_sweep, fig11, fig12, fig13, fig14, protocol::ProtocolConfig};
 use echo_eval::harness::CaptureSpec;
 use echo_eval::metrics::{AuthMetrics, ConfusionMatrix, SPOOFER};
 use echoimage_core::auth::AuthConfig;
@@ -36,6 +36,23 @@ fn experiment_configs_round_trip() {
     round_trip(&fig12::Config::default());
     round_trip(&fig13::Config::default());
     round_trip(&fig14::Config::default());
+    round_trip(&fault_sweep::Config::default());
+}
+
+#[test]
+fn fault_plan_round_trips() {
+    use echo_sim::{ChannelFault, FaultKind, FaultPlan};
+    round_trip(&FaultPlan::none());
+    round_trip(&FaultPlan::uniform(FaultKind::Clipping, 0.7, &[1, 4], 9));
+    let mixed = FaultPlan::new(3)
+        .with_fault(0, ChannelFault::Dead)
+        .with_fault(2, ChannelFault::GainDrift { db: -12.0 })
+        .with_fault(5, ChannelFault::ClockSkew { ppm: 900.0 });
+    round_trip(&mixed);
+    // A spec carrying a plan must survive the artefact round trip too.
+    let mut spec = CaptureSpec::default_lab(4);
+    spec.faults = FaultPlan::uniform(FaultKind::BurstInterference, 1.0, &[2], 5);
+    round_trip(&spec);
 }
 
 #[test]

@@ -16,7 +16,9 @@
 //!   direct beep plus every speaker→scatterer→mic echo at its exact
 //!   fractional delay and inverse-distance attenuation, plus noise,
 //! * [`population`] — the paper's Table I subject demographics,
-//! * [`recording`] — captured multichannel beep windows.
+//! * [`recording`] — captured multichannel beep windows,
+//! * [`fault`] — deterministic per-microphone channel-fault injection
+//!   (dead mics, gain drift, DC offset, clipping, clock skew, bursts).
 //!
 //! # Example
 //!
@@ -37,6 +39,7 @@
 //! ```
 
 pub mod body;
+pub mod fault;
 pub mod noise;
 pub mod population;
 pub mod recording;
@@ -45,6 +48,7 @@ pub mod scene;
 pub mod wav;
 
 pub use body::{BodyModel, Placement, Scatterer};
+pub use fault::{ChannelFault, FaultKind, FaultPlan};
 pub use noise::NoiseKind;
 pub use population::{Population, UserProfile};
 pub use recording::BeepCapture;

@@ -105,6 +105,31 @@ impl BeepCapture {
         }
     }
 
+    /// A new capture holding only the listed channels (same metadata) —
+    /// the degraded-mode pipeline images with the surviving microphones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty, not strictly increasing, or names a
+    /// channel the capture does not have. Callers in `echoimage-core`
+    /// validate the mask against the channel-health screen first.
+    pub fn select_channels(&self, indices: &[usize]) -> BeepCapture {
+        assert!(!indices.is_empty(), "a capture needs at least one channel");
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "channel indices must be strictly increasing"
+        );
+        assert!(
+            indices.iter().all(|&i| i < self.channels.len()),
+            "channel index out of range"
+        );
+        BeepCapture {
+            channels: indices.iter().map(|&i| self.channels[i].clone()).collect(),
+            sample_rate: self.sample_rate,
+            preroll: self.preroll,
+        }
+    }
+
     /// Hard-clips every sample to ±`limit` (microphone saturation; used
     /// for failure-injection tests).
     pub fn clipped(&self, limit: f64) -> BeepCapture {

@@ -64,13 +64,28 @@ pub fn write_wav<P: AsRef<Path>>(path: P, capture: &BeepCapture, gain: f64) -> i
     f.write_all(&buf)
 }
 
+/// Most channels accepted from a WAV header. The simulator's captures
+/// are 6-channel; 64 leaves headroom for real recording rigs while
+/// rejecting the garbage headers (65535 channels) that would otherwise
+/// drive allocation.
+pub const MAX_WAV_CHANNELS: u16 = 64;
+
+/// Highest sample rate accepted from a WAV header, Hz (384 kHz is the
+/// top of the pro-audio range).
+pub const MAX_WAV_SAMPLE_RATE: u32 = 384_000;
+
 /// Reads a 16-bit PCM WAV file back into a [`BeepCapture`] (with the
 /// given preroll annotation, which WAV cannot carry).
 ///
+/// The fmt chunk is validated rather than trusted: the channel count
+/// must be `1..=`[`MAX_WAV_CHANNELS`], the sample rate must be positive
+/// and at most [`MAX_WAV_SAMPLE_RATE`], and the data chunk must hold a
+/// whole number of frames.
+///
 /// # Errors
 ///
-/// Returns `InvalidData` for non-PCM or non-16-bit files, or any I/O
-/// error.
+/// Returns `InvalidData` for non-PCM, non-16-bit or out-of-bounds
+/// headers, or any I/O error.
 pub fn read_wav<P: AsRef<Path>>(path: P, preroll: usize) -> io::Result<BeepCapture> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
@@ -83,6 +98,7 @@ pub fn read_wav<P: AsRef<Path>>(path: P, preroll: usize) -> io::Result<BeepCaptu
     let mut channels = 0u16;
     let mut sample_rate = 0u32;
     let mut bits = 0u16;
+    let mut saw_fmt = false;
     let mut data: Option<&[u8]> = None;
     while pos + 8 <= bytes.len() {
         let id = &bytes[pos..pos + 4];
@@ -99,6 +115,7 @@ pub fn read_wav<P: AsRef<Path>>(path: P, preroll: usize) -> io::Result<BeepCaptu
                 if format != 1 {
                     return Err(bad("only PCM WAV is supported"));
                 }
+                saw_fmt = true;
                 channels = u16::from_le_bytes(body[2..4].try_into().unwrap());
                 sample_rate = u32::from_le_bytes(body[4..8].try_into().unwrap());
                 bits = u16::from_le_bytes(body[14..16].try_into().unwrap());
@@ -108,14 +125,23 @@ pub fn read_wav<P: AsRef<Path>>(path: P, preroll: usize) -> io::Result<BeepCaptu
         }
         pos += 8 + len + (len & 1);
     }
+    if !saw_fmt {
+        return Err(bad("missing fmt chunk"));
+    }
     if bits != 16 {
         return Err(bad("only 16-bit WAV is supported"));
     }
-    if channels == 0 {
-        return Err(bad("missing fmt chunk"));
+    if channels == 0 || channels > MAX_WAV_CHANNELS {
+        return Err(bad("channel count out of the supported range"));
+    }
+    if sample_rate == 0 || sample_rate > MAX_WAV_SAMPLE_RATE {
+        return Err(bad("sample rate out of the supported range"));
     }
     let data = data.ok_or_else(|| bad("missing data chunk"))?;
     let frame = channels as usize * 2;
+    if !data.len().is_multiple_of(frame) {
+        return Err(bad("data chunk is not a whole number of frames"));
+    }
     let n = data.len() / frame;
     let mut out = vec![Vec::with_capacity(n); channels as usize];
     for t in 0..n {
@@ -163,6 +189,76 @@ mod tests {
         std::fs::write(&path, b"definitely not a wav file").unwrap();
         assert!(read_wav(&path, 0).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A syntactically valid WAV with attacker-controlled fmt fields.
+    fn crafted_wav(channels: u16, sample_rate: u32, data: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RIFF");
+        bytes.extend_from_slice(&(36 + data.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(b"WAVE");
+        bytes.extend_from_slice(b"fmt ");
+        bytes.extend_from_slice(&16u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes()); // PCM
+        bytes.extend_from_slice(&channels.to_le_bytes());
+        bytes.extend_from_slice(&sample_rate.to_le_bytes());
+        bytes.extend_from_slice(
+            &sample_rate
+                .wrapping_mul(channels as u32)
+                .wrapping_mul(2)
+                .to_le_bytes(),
+        );
+        bytes.extend_from_slice(&channels.wrapping_mul(2).to_le_bytes());
+        bytes.extend_from_slice(&16u16.to_le_bytes());
+        bytes.extend_from_slice(b"data");
+        bytes.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(data);
+        bytes
+    }
+
+    fn read_crafted(name: &str, bytes: &[u8]) -> std::io::Result<BeepCapture> {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, bytes).unwrap();
+        let out = read_wav(&path, 0);
+        std::fs::remove_file(&path).ok();
+        out
+    }
+
+    #[test]
+    fn oversized_channel_count_is_rejected() {
+        // 65535 channels would allocate per the header; the bound must
+        // reject it before construction.
+        let bytes = crafted_wav(65_535, 48_000, &[0u8; 8]);
+        let err = read_crafted("echoimage_wav_chans.wav", &bytes).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("channel count"), "{err}");
+    }
+
+    #[test]
+    fn zero_sample_rate_is_rejected() {
+        let bytes = crafted_wav(2, 0, &[0u8; 8]);
+        let err = read_crafted("echoimage_wav_rate.wav", &bytes).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("sample rate"), "{err}");
+    }
+
+    #[test]
+    fn partial_frame_in_data_chunk_is_rejected() {
+        // 2 channels × 16 bit = 4-byte frames; 6 bytes is a frame and a
+        // half, which the old reader silently truncated.
+        let bytes = crafted_wav(2, 48_000, &[0u8; 6]);
+        let err = read_crafted("echoimage_wav_frame.wav", &bytes).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("whole number of frames"), "{err}");
+    }
+
+    #[test]
+    fn crafted_bounds_are_inclusive() {
+        // The limits themselves are valid.
+        let ok = crafted_wav(2, 48_000, &[0u8; 8]);
+        let cap = read_crafted("echoimage_wav_ok.wav", &ok).unwrap();
+        assert_eq!(cap.num_channels(), 2);
+        assert_eq!(cap.len(), 2);
     }
 
     #[test]

@@ -26,13 +26,20 @@ fn main() {
 const USAGE: &str = "usage: cargo xtask ci
 
 tasks:
-  ci    run the full CI gate (fmt, clippy, build, tests, bench build)";
+  ci    run the full CI gate (fmt, clippy, build, tests, fault suite, bench build)";
+
+/// One gate step: display name, cargo arguments, extra environment.
+type Step = (
+    &'static str,
+    &'static [&'static str],
+    &'static [(&'static str, &'static str)],
+);
 
 /// The CI gate, in the same order as .github/workflows/ci.yml: cheap
 /// static checks first, the test run last.
 fn ci() {
-    let steps: &[(&str, &[&str])] = &[
-        ("format check", &["fmt", "--all", "--check"]),
+    let steps: &[Step] = &[
+        ("format check", &["fmt", "--all", "--check"], &[]),
         (
             "clippy",
             &[
@@ -43,23 +50,59 @@ fn ci() {
                 "-D",
                 "warnings",
             ],
+            &[],
         ),
-        ("release build", &["build", "--release", "--workspace"]),
-        ("tests", &["test", "-q", "--workspace"]),
-        ("bench build", &["bench", "--no-run", "--workspace"]),
+        ("release build", &["build", "--release", "--workspace"], &[]),
+        ("tests", &["test", "-q", "--workspace"], &[]),
+        (
+            "sim fault injectors",
+            &["test", "-q", "-p", "echo-sim", "fault"],
+            &[],
+        ),
+        // The degraded-imaging suite runs twice: pinned serial and with
+        // the worker pool, holding the bit-identity claim on both.
+        (
+            "degraded imaging (threads = 1)",
+            &[
+                "test",
+                "-q",
+                "-p",
+                "echoimage-core",
+                "--test",
+                "fault_injection",
+            ],
+            &[("ECHOIMAGE_THREADS", "1")],
+        ),
+        (
+            "degraded imaging (threads = 0)",
+            &[
+                "test",
+                "-q",
+                "-p",
+                "echoimage-core",
+                "--test",
+                "fault_injection",
+            ],
+            &[("ECHOIMAGE_THREADS", "0")],
+        ),
+        ("bench build", &["bench", "--no-run", "--workspace"], &[]),
     ];
-    for (name, args) in steps {
-        run(name, args);
+    for (name, args, envs) in steps {
+        run(name, args, envs);
     }
     println!("\nCI gate passed ({} steps)", steps.len());
 }
 
-fn run(name: &str, args: &[&str]) {
-    println!("==> {name}: cargo {}", args.join(" "));
+fn run(name: &str, args: &[&str], envs: &[(&str, &str)]) {
+    let env_prefix: String = envs.iter().map(|(k, v)| format!("{k}={v} ")).collect();
+    println!("==> {name}: {env_prefix}cargo {}", args.join(" "));
     // CARGO points back at the cargo that invoked the alias, so the
     // gate runs with the same toolchain the developer is using.
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
-    let status = Command::new(cargo).args(args).status();
+    let status = Command::new(cargo)
+        .args(args)
+        .envs(envs.iter().copied())
+        .status();
     match status {
         Ok(s) if s.success() => {}
         Ok(s) => {

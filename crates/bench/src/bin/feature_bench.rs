@@ -1,0 +1,216 @@
+//! Standing benchmark for the fast feature path.
+//!
+//! Times the two hot kernels this crate's evaluation sweeps re-pay
+//! thousands of times per run:
+//!
+//! * **image → embedding** — the naive 6-deep convolution reference
+//!   versus the im2col+GEMM forward pass (single image), and the batch
+//!   path at several thread counts (asserted bit-identical),
+//! * **matched filter** — the pre-plan three-FFT implementation versus
+//!   the packed-real path and the cached-template
+//!   [`MatchedFilterPlan`].
+//!
+//! Writes `BENCH_features.json` at the repository root so successive
+//! PRs accumulate a perf trajectory. `--quick` shrinks iteration counts
+//! for CI smoke runs.
+
+use echo_bench::{banner, quick_mode};
+use echo_dsp::correlate::{matched_filter, CorrelationScratch, MatchedFilterPlan};
+use echo_dsp::fft::{fft, ifft, next_pow2};
+use echo_dsp::Complex;
+use echo_ml::cnn::ConvScratch;
+use echo_ml::{FeatureExtractor, GrayImage};
+use echoimage_core::features::ImageFeatures;
+use std::time::Instant;
+
+/// Best-of-`reps` mean nanoseconds per iteration of `f`.
+fn time_ns(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+/// The pre-plan matched filter: pad both signals, three full FFTs.
+fn matched_filter_unplanned(signal: &[f64], template: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    let size = next_pow2(n + template.len() - 1);
+    let mut a: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    a.resize(size, Complex::ZERO);
+    let mut b: Vec<Complex> = template.iter().map(|&x| Complex::from_real(x)).collect();
+    b.resize(size, Complex::ZERO);
+    fft(&mut a);
+    fft(&mut b);
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x *= y.conj();
+    }
+    ifft(&mut a);
+    a.truncate(n);
+    a.into_iter().map(|v| v.re).collect()
+}
+
+fn bench_image(k: usize) -> GrayImage {
+    GrayImage::from_fn(64, 64, move |x, y| ((x * 13 + y * 29 + k * 7) % 97) as f64)
+}
+
+fn assert_bits_eq(label: &str, a: &[Vec<f64>], b: &[Vec<f64>]) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.len(), y.len(), "{label}: width mismatch");
+        for (p, q) in x.iter().zip(y.iter()) {
+            assert_eq!(p.to_bits(), q.to_bits(), "{label}: bits diverged");
+        }
+    }
+}
+
+fn main() {
+    banner(
+        "feature_bench",
+        "image→embedding and matched-filter hot paths",
+        "standing perf gate: GEMM forward ≥ 4× naive; batch scales with \
+         threads while staying bit-identical",
+    );
+    let quick = quick_mode();
+    let (reps, single_iters, batch_iters, mf_iters) = if quick {
+        (2, 3, 1, 20)
+    } else {
+        (3, 20, 4, 200)
+    };
+
+    // ── image → embedding ────────────────────────────────────────────
+    let fx = FeatureExtractor::paper_default();
+    let image = bench_image(0);
+    // Hold results in a sink so the optimiser cannot drop the work.
+    let mut sink = 0.0f64;
+
+    let naive_ns = time_ns(reps, single_iters, || {
+        sink += fx.extract_reference(&image)[0];
+    });
+    let gemm_ns = time_ns(reps, single_iters, || {
+        sink += fx.extract(&image)[0];
+    });
+    let mut scratch = ConvScratch::new();
+    let gemm_scratch_ns = time_ns(reps, single_iters, || {
+        sink += fx.extract_with_scratch(&image, &mut scratch)[0];
+    });
+    assert_bits_eq(
+        "gemm vs naive",
+        &[fx.extract(&image)],
+        &[fx.extract_reference(&image)],
+    );
+    let single_speedup = naive_ns / gemm_ns;
+    println!("single image → embedding (64×64 input):");
+    println!("  naive reference : {:>12.0} ns", naive_ns);
+    println!(
+        "  im2col+GEMM     : {:>12.0} ns   ({single_speedup:.2}× vs naive)",
+        gemm_ns
+    );
+    println!(
+        "  + reused scratch: {:>12.0} ns   ({:.2}× vs naive)",
+        gemm_scratch_ns,
+        naive_ns / gemm_scratch_ns
+    );
+
+    // ── batch extraction across thread counts ────────────────────────
+    let batch: Vec<GrayImage> = (0..16).map(bench_image).collect();
+    let features = ImageFeatures::new();
+    let reference = features.extract_batch_threaded(&batch, 1);
+    let mut batch_rows = Vec::new();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\nbatch of {} images → embeddings ({cores} core(s) available; \
+         expect no scaling below 2):",
+        batch.len()
+    );
+    for threads in [1usize, 4, 0] {
+        let got = features.extract_batch_threaded(&batch, threads);
+        assert_bits_eq("batch vs threads=1", &reference, &got);
+        let ns = time_ns(reps, batch_iters, || {
+            sink += features.extract_batch_threaded(&batch, threads)[0][0];
+        });
+        let label = if threads == 0 {
+            "auto".into()
+        } else {
+            threads.to_string()
+        };
+        println!(
+            "  threads={label:<5}: {:>12.0} ns/batch   ({:.2}× vs serial batch)",
+            ns,
+            batch_rows.first().map_or(1.0, |&(_, first)| first / ns)
+        );
+        batch_rows.push((label, ns));
+    }
+
+    // ── matched filter ───────────────────────────────────────────────
+    let template: Vec<f64> = (0..96).map(|i| (i as f64 * 0.13).sin()).collect();
+    let signal: Vec<f64> = (0..4_000)
+        .map(|i| ((i * i) as f64 * 1.3e-4).sin())
+        .collect();
+    let mf_unplanned_ns = time_ns(reps, mf_iters, || {
+        sink += matched_filter_unplanned(&signal, &template)[0];
+    });
+    let mf_packed_ns = time_ns(reps, mf_iters, || {
+        sink += matched_filter(&signal, &template)[0];
+    });
+    let plan = MatchedFilterPlan::new(&template);
+    let mut mf_scratch = CorrelationScratch::new();
+    let mf_planned_ns = time_ns(reps, mf_iters, || {
+        sink += plan.matched_filter_with(&signal, &mut mf_scratch)[0];
+    });
+    println!("\nmatched filter (4 000-sample capture, 96-sample chirp):");
+    println!("  unplanned (pre-PR, 3 FFTs): {:>10.0} ns", mf_unplanned_ns);
+    println!(
+        "  packed-real (2 FFTs)      : {:>10.0} ns   ({:.2}× vs unplanned)",
+        mf_packed_ns,
+        mf_unplanned_ns / mf_packed_ns
+    );
+    println!(
+        "  cached template + scratch : {:>10.0} ns   ({:.2}× vs unplanned)",
+        mf_planned_ns,
+        mf_unplanned_ns / mf_planned_ns
+    );
+
+    // ── artefact ─────────────────────────────────────────────────────
+    let batch_json: Vec<String> = batch_rows
+        .iter()
+        .map(|(label, ns)| format!("    {{\"threads\": \"{label}\", \"ns_per_batch\": {ns:.0}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"feature_bench\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \
+         \"single_image\": {{\n    \"naive_ns\": {naive_ns:.0},\n    \
+         \"gemm_ns\": {gemm_ns:.0},\n    \"gemm_scratch_ns\": {gemm_scratch_ns:.0},\n    \
+         \"speedup_vs_naive\": {single_speedup:.2}\n  }},\n  \
+         \"batch_16_images\": [\n{}\n  ],\n  \
+         \"matched_filter\": {{\n    \"unplanned_ns\": {mf_unplanned_ns:.0},\n    \
+         \"packed_ns\": {mf_packed_ns:.0},\n    \"planned_ns\": {mf_planned_ns:.0},\n    \
+         \"speedup_vs_unplanned\": {:.2}\n  }}\n}}\n",
+        batch_json.join(",\n"),
+        mf_unplanned_ns / mf_planned_ns,
+    );
+    if quick {
+        // Smoke runs have too few iterations to be worth recording;
+        // keep the last full run's numbers in the artefact.
+        println!("\n--quick: BENCH_features.json left untouched");
+    } else {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let out = root.join("BENCH_features.json");
+        match std::fs::write(&out, &json) {
+            Ok(()) => println!("\nartefact: {}", out.display()),
+            Err(e) => eprintln!("could not write {}: {e}", out.display()),
+        }
+    }
+
+    // Defeat dead-code elimination of every timed body.
+    if sink.is_nan() {
+        println!("{sink}");
+    }
+    if single_speedup < 4.0 && !quick {
+        eprintln!("WARNING: single-image speedup {single_speedup:.2}× below the 4× gate");
+    }
+}

@@ -17,11 +17,13 @@
 
 use crate::config::{DistanceConfig, PipelineConfig};
 use crate::error::EchoImageError;
+use crate::template_cache::chirp_template_plan;
 use echo_array::{Direction, MicArray};
 use echo_beamform::{apply_weights, mvdr_weights, SpatialCovariance};
-use echo_dsp::correlate::matched_filter_complex;
-use echo_dsp::hilbert::{analytic_signal, moving_average};
+use echo_dsp::correlate::CorrelationScratch;
+use echo_dsp::hilbert::{analytic_signal, analytic_signal_with, moving_average};
 use echo_dsp::peaks::{find_peaks, strongest_peak_in, Peak};
+use echo_dsp::FftScratch;
 use echo_dsp::{Complex, SPEED_OF_SOUND};
 use echo_sim::BeepCapture;
 
@@ -87,9 +89,9 @@ pub fn estimate_distance(
     let f0 = config.beep.center_frequency();
     let steering = array.steering_vector(look, f0);
 
-    // Analytic chirp template for the matched filter.
-    let chirp = config.beep.chirp().samples();
-    let chirp_analytic = analytic_signal(&chirp);
+    // Matched-filter plan for the analytic chirp template, shared
+    // process-wide (output bit-identical to the per-call template path).
+    let chirp_plan = chirp_template_plan(&config.beep);
 
     // One noise covariance for the whole train: pooling every beep's
     // preroll gives a far stabler estimate than any single 10 ms window,
@@ -100,13 +102,15 @@ pub fn estimate_distance(
 
     // Accumulate E(t) = (1/L) Σ |E_l(t)|² (Eq. 10).
     let mut accumulated = vec![0.0f64; n];
+    let mut hilbert_scratch = FftScratch::new();
+    let mut corr_scratch = CorrelationScratch::new();
     for capture in captures {
         let analytic: Vec<Vec<Complex>> = (0..m)
-            .map(|ch| analytic_signal(capture.channel(ch)))
+            .map(|ch| analytic_signal_with(capture.channel(ch), &mut hilbert_scratch))
             .collect();
         let beamformed = apply_weights(&analytic, &weights);
         // |C_l(t)| of the analytic correlation *is* the envelope E_l(t).
-        let correlation = matched_filter_complex(&beamformed, &chirp_analytic);
+        let correlation = chirp_plan.matched_filter_complex_with(&beamformed, &mut corr_scratch);
         for (acc, c) in accumulated.iter_mut().zip(correlation.iter()) {
             *acc += c.norm_sqr();
         }

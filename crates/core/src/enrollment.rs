@@ -81,23 +81,29 @@ pub fn enrollment_features(
         return Err(EchoImageError::NoCaptures);
     }
     let imaging = &pipeline.config().imaging;
-    let mut features = Vec::new();
+    // Gather every image (captured, re-planed, and augmented) first,
+    // then extract features in one batch over the configured thread
+    // count. The gather order — per visit, per image: base then its
+    // augmented copies — matches the feature order of the serial recipe.
+    let mut gathered = Vec::new();
     for visit in visits {
         let (images, est) = pipeline.images_from_train_multi_plane(visit, &config.plane_offsets)?;
-        for img in &images {
-            features.push(pipeline.features(img));
-            if !config.augment_offsets.is_empty() {
+        for img in images {
+            let synth = if config.augment_offsets.is_empty() {
+                Vec::new()
+            } else {
                 let targets: Vec<f64> = config
                     .augment_offsets
                     .iter()
                     .map(|o| (est.horizontal_distance + o).max(0.2))
                     .collect();
-                let synth = augment_sweep(img, imaging, est.horizontal_distance, &targets)?;
-                features.extend(synth.iter().map(|s| pipeline.features(s)));
-            }
+                augment_sweep(&img, imaging, est.horizontal_distance, &targets)?
+            };
+            gathered.push(img);
+            gathered.extend(synth);
         }
     }
-    Ok(features)
+    Ok(pipeline.features_batch(&gathered))
 }
 
 /// [`enrollment_features`] with channel-health screening: microphones

@@ -6,6 +6,7 @@
 //! ([`echo_ml::FeatureExtractor`], see DESIGN.md §1 for the
 //! transfer-learning substitution) behind the same interface.
 
+use crate::par::{effective_threads, parallel_map_indexed};
 use echo_ml::{FeatureExtractor, GrayImage};
 
 /// Extracts fixed-length embeddings from acoustic images.
@@ -50,9 +51,32 @@ impl ImageFeatures {
         self.extractor.extract(image)
     }
 
-    /// Extracts embeddings for a batch of images.
+    /// Extracts embeddings for a batch of images on one thread, reusing
+    /// one scratch arena across the whole batch (no per-image
+    /// allocation). Output `i` equals `extract(&images[i])` bit for bit.
     pub fn extract_batch(&self, images: &[GrayImage]) -> Vec<Vec<f64>> {
-        images.iter().map(|i| self.extract(i)).collect()
+        self.extractor.extract_batch(images)
+    }
+
+    /// [`ImageFeatures::extract_batch`] fanned over the deterministic
+    /// work pool (`threads` follows the workspace convention: `0` =
+    /// available parallelism, `1` = serial).
+    ///
+    /// Images are split into one contiguous chunk per worker and each
+    /// worker runs the serial batch path with its own scratch, so the
+    /// result is **bit-identical for every thread count and batch
+    /// size** — the property the determinism suite pins.
+    pub fn extract_batch_threaded(&self, images: &[GrayImage], threads: usize) -> Vec<Vec<f64>> {
+        let workers = effective_threads(threads).min(images.len());
+        if workers <= 1 {
+            return self.extract_batch(images);
+        }
+        let chunk = images.len().div_ceil(workers);
+        let chunks: Vec<&[GrayImage]> = images.chunks(chunk).collect();
+        parallel_map_indexed(&chunks, workers, |_, c| self.extractor.extract_batch(c))
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     /// Ablation baseline: the raw image, resized to the CNN input and
@@ -92,6 +116,20 @@ mod tests {
         let batch = fx.extract_batch(&imgs);
         assert_eq!(batch[0], fx.extract(&imgs[0]));
         assert_eq!(batch[1], fx.extract(&imgs[1]));
+    }
+
+    #[test]
+    fn threaded_batch_is_bit_identical_to_serial() {
+        let fx = ImageFeatures::new();
+        let imgs: Vec<GrayImage> = (0..7)
+            .map(|k| GrayImage::from_fn(36, 36, move |x, y| ((x + k * y) % 9) as f64))
+            .collect();
+        let serial = fx.extract_batch_threaded(&imgs, 1);
+        assert_eq!(serial.len(), imgs.len());
+        for threads in [2, 3, 4, 0] {
+            assert_eq!(fx.extract_batch_threaded(&imgs, threads), serial);
+        }
+        assert!(fx.extract_batch_threaded(&[], 4).is_empty());
     }
 
     #[test]

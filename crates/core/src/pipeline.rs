@@ -207,6 +207,13 @@ impl EchoImagePipeline {
         self.features.extract(image)
     }
 
+    /// Extracts features for a batch of images over the configured
+    /// thread count (bit-identical to mapping [`EchoImagePipeline::features`]).
+    pub fn features_batch(&self, images: &[GrayImage]) -> Vec<Vec<f64>> {
+        self.features
+            .extract_batch_threaded(images, self.config.threads)
+    }
+
     /// Runs a whole train to feature vectors (distance → images →
     /// features).
     ///
@@ -218,7 +225,7 @@ impl EchoImagePipeline {
         captures: &[BeepCapture],
     ) -> Result<Vec<Vec<f64>>, EchoImageError> {
         let (images, _) = self.images_from_train(captures)?;
-        Ok(images.iter().map(|i| self.features(i)).collect())
+        Ok(self.features_batch(&images))
     }
 
     /// Screens the train for channel faults.
@@ -326,7 +333,7 @@ impl EchoImagePipeline {
         captures: &[BeepCapture],
     ) -> Result<(Vec<Vec<f64>>, ChannelHealth), EchoImageError> {
         let (images, _, health) = self.images_from_train_degraded(captures)?;
-        Ok((images.iter().map(|i| self.features(i)).collect(), health))
+        Ok((self.features_batch(&images), health))
     }
 }
 

@@ -1,0 +1,123 @@
+//! Process-wide cache of matched-filter plans for transmitted chirps.
+//!
+//! Every distance estimate matched-filters each beep against the *same*
+//! analytic chirp template (paper Eq. 9). Synthesising that template and
+//! re-transforming it per call cost one chirp synthesis, one Hilbert
+//! transform, and one forward FFT per capture. This cache — the same
+//! MRU-list pattern as [`crate::steering_cache`] — keys an
+//! [`echo_dsp::correlate::MatchedFilterPlan`] on the beep parameters, so
+//! a process re-pays the template only when the beep design changes
+//! (ablation sweeps), not per authentication.
+//!
+//! Results are unchanged: the plan caches the exact spectrum the
+//! per-call path computed, and correlation outputs are bit-identical to
+//! [`echo_dsp::correlate::matched_filter_complex`].
+
+use crate::config::BeepConfig;
+use echo_dsp::correlate::MatchedFilterPlan;
+use echo_dsp::hilbert::analytic_signal;
+use std::sync::{Arc, Mutex};
+
+/// Beep parameters that determine the chirp template, as exact bits.
+type TemplateKey = [u64; 4];
+
+fn template_key(beep: &BeepConfig) -> TemplateKey {
+    // `interval` spaces beeps in time but never reaches the template.
+    [
+        beep.f_start.to_bits(),
+        beep.f_end.to_bits(),
+        beep.duration.to_bits(),
+        beep.sample_rate.to_bits(),
+    ]
+}
+
+/// Most-recently-used-first plan list.
+static CACHE: Mutex<Vec<(TemplateKey, Arc<MatchedFilterPlan>)>> = Mutex::new(Vec::new());
+
+/// Distinct beep designs kept alive; runs use one, ablations a handful.
+const CAPACITY: usize = 4;
+
+/// Returns the matched-filter plan for `beep`'s *analytic* chirp
+/// template (the one the distance estimator correlates beamformed
+/// analytic signals against), computing and caching it on first use.
+pub fn chirp_template_plan(beep: &BeepConfig) -> Arc<MatchedFilterPlan> {
+    let key = template_key(beep);
+    {
+        let mut cache = CACHE.lock().expect("chirp template cache poisoned");
+        if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+            let hit = cache.remove(pos);
+            let plan = Arc::clone(&hit.1);
+            cache.insert(0, hit);
+            return plan;
+        }
+    }
+    // Synthesise outside the lock; a racing duplicate is harmless.
+    let chirp = beep.chirp().samples();
+    let plan = Arc::new(MatchedFilterPlan::new_complex(&analytic_signal(&chirp)));
+    let mut cache = CACHE.lock().expect("chirp template cache poisoned");
+    if !cache.iter().any(|(k, _)| *k == key) {
+        cache.insert(0, (key, Arc::clone(&plan)));
+        cache.truncate(CAPACITY);
+    }
+    plan
+}
+
+/// Number of templates currently cached (for tests and benchmarks).
+pub fn template_cache_len() -> usize {
+    CACHE.lock().expect("chirp template cache poisoned").len()
+}
+
+/// Empties the template cache (for tests needing a cold start).
+pub fn clear_template_cache() {
+    CACHE.lock().expect("chirp template cache poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_beep_shares_a_plan() {
+        let a = chirp_template_plan(&BeepConfig::paper());
+        let b = chirp_template_plan(&BeepConfig::paper());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_beeps_get_different_plans() {
+        let a = chirp_template_plan(&BeepConfig::paper());
+        let mut other = BeepConfig::paper();
+        other.duration = 0.004;
+        let b = chirp_template_plan(&other);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.template_len(), b.template_len());
+    }
+
+    #[test]
+    fn interval_does_not_affect_the_template() {
+        let a = chirp_template_plan(&BeepConfig::paper());
+        let mut other = BeepConfig::paper();
+        other.interval = 1.0;
+        let b = chirp_template_plan(&other);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cache_stays_bounded() {
+        clear_template_cache();
+        for i in 0..10 {
+            let mut beep = BeepConfig::paper();
+            beep.f_end = 3_000.0 + 10.0 * i as f64;
+            let _ = chirp_template_plan(&beep);
+        }
+        assert!(template_cache_len() <= CAPACITY);
+    }
+
+    #[test]
+    fn plan_matches_per_call_template() {
+        let beep = BeepConfig::paper();
+        let plan = chirp_template_plan(&beep);
+        let chirp = beep.chirp().samples();
+        assert_eq!(plan.template_len(), analytic_signal(&chirp).len());
+    }
+}

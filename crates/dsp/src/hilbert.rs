@@ -6,7 +6,7 @@
 //! optionally smoothed with a short moving average.
 
 use crate::complex::Complex;
-use crate::fft::{fft, ifft};
+use crate::plan::{fft_plan, FftScratch};
 
 /// Computes the analytic signal `x + i·H{x}` of a real signal.
 ///
@@ -30,12 +30,24 @@ use crate::fft::{fft, ifft};
 /// }
 /// ```
 pub fn analytic_signal(signal: &[f64]) -> Vec<Complex> {
+    analytic_signal_with(signal, &mut FftScratch::new())
+}
+
+/// [`analytic_signal`] reusing caller scratch across calls.
+///
+/// Callers transforming many same-length channels (beamforming fans the
+/// Hilbert transform across every steering direction) avoid
+/// re-allocating the Bluestein convolution buffer. Output is identical
+/// to [`analytic_signal`]; the transforms go through the process-wide
+/// plan cache either way.
+pub fn analytic_signal_with(signal: &[f64], scratch: &mut FftScratch) -> Vec<Complex> {
     let n = signal.len();
     if n == 0 {
         return Vec::new();
     }
+    let plan = fft_plan(n);
     let mut spec: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
-    fft(&mut spec);
+    plan.fft_with(&mut spec, scratch);
     // Single-sided spectrum weighting.
     let half = n / 2;
     for (k, v) in spec.iter_mut().enumerate() {
@@ -47,7 +59,7 @@ pub fn analytic_signal(signal: &[f64]) -> Vec<Complex> {
             *v = Complex::ZERO;
         }
     }
-    ifft(&mut spec);
+    plan.ifft_with(&mut spec, scratch);
     spec
 }
 

@@ -8,6 +8,7 @@
 //! * [`filter`] — Butterworth low/high/band-pass biquad cascades,
 //! * [`hilbert`] — analytic signal and envelope detection,
 //! * [`correlate`] — FFT matched filtering (paper Eq. 9),
+//! * [`plan`] — precomputed, LRU-cached FFT plans shared by the hot paths,
 //! * [`peaks`] — local-maxima search used for echo detection (paper §V-B),
 //! * [`interp`] — fractional-delay interpolation used by the scene simulator,
 //! * [`stats`] — small numeric helpers shared across crates.
@@ -46,12 +47,14 @@ pub mod fir;
 pub mod hilbert;
 pub mod interp;
 pub mod peaks;
+pub mod plan;
 pub mod resample;
 pub mod stats;
 pub mod stft;
 pub mod window;
 
 pub use complex::Complex;
+pub use plan::{fft_plan, FftPlan, FftScratch};
 
 /// Speed of sound in air at ~20 °C, metres per second.
 ///

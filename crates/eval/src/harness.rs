@@ -235,7 +235,7 @@ impl Harness {
         spec: &CaptureSpec,
     ) -> Result<Vec<Vec<f64>>, EchoImageError> {
         let (images, _) = self.images_for(body, spec)?;
-        Ok(images.iter().map(|i| self.pipeline.features(i)).collect())
+        Ok(self.pipeline.features_batch(&images))
     }
 
     /// Convenience over a [`UserProfile`].
@@ -252,9 +252,12 @@ impl Harness {
     }
 
     /// Extracts features for a batch of images (used by the augmentation
-    /// experiment, which synthesises extra images before featurising).
+    /// experiment, which synthesises extra images before featurising),
+    /// fanned over the harness's worker threads.
     pub fn features_of_images(&self, images: &[GrayImage]) -> Vec<Vec<f64>> {
-        images.iter().map(|i| self.pipeline.features(i)).collect()
+        self.pipeline
+            .feature_extractor()
+            .extract_batch_threaded(images, self.threads)
     }
 
     /// Runs a whole batch of `(subject, condition)` jobs — the
@@ -271,7 +274,9 @@ impl Harness {
         parallel_map_indexed(jobs, self.threads, |_, (profile, spec)| {
             let captures = self.capture_train(&profile.body(), spec);
             let (images, _) = Self::route_images(&worker, spec, &captures)?;
-            Ok(images.iter().map(|i| worker.features(i)).collect())
+            // Each job is already on a pool worker; extract its images
+            // serially with one reused scratch (no nested fan-out).
+            Ok(worker.feature_extractor().extract_batch(&images))
         })
     }
 }

@@ -120,28 +120,41 @@ impl GrayImage {
         if new_width == self.width && new_height == self.height {
             return self.clone();
         }
-        let mut out = GrayImage::zeros(new_width, new_height);
         let sx = self.width as f64 / new_width as f64;
         let sy = self.height as f64 / new_height as f64;
+        // Horizontal taps depend only on x: compute them once per image
+        // instead of once per row. Values and evaluation order match the
+        // straightforward per-pixel loop exactly.
+        let taps: Vec<(usize, usize, f64)> = (0..new_width)
+            .map(|x| {
+                // Sample at pixel centres.
+                let fx = ((x as f64 + 0.5) * sx - 0.5).clamp(0.0, (self.width - 1) as f64);
+                let x0 = fx.floor() as usize;
+                let x1 = (x0 + 1).min(self.width - 1);
+                (x0, x1, fx - x0 as f64)
+            })
+            .collect();
+        let mut data = Vec::with_capacity(new_width * new_height);
         for y in 0..new_height {
-            // Sample at pixel centres.
             let fy = ((y as f64 + 0.5) * sy - 0.5).clamp(0.0, (self.height - 1) as f64);
             let y0 = fy.floor() as usize;
             let y1 = (y0 + 1).min(self.height - 1);
             let wy = fy - y0 as f64;
-            for x in 0..new_width {
-                let fx = ((x as f64 + 0.5) * sx - 0.5).clamp(0.0, (self.width - 1) as f64);
-                let x0 = fx.floor() as usize;
-                let x1 = (x0 + 1).min(self.width - 1);
-                let wx = fx - x0 as f64;
-                let v = self.get(x0, y0) * (1.0 - wx) * (1.0 - wy)
-                    + self.get(x1, y0) * wx * (1.0 - wy)
-                    + self.get(x0, y1) * (1.0 - wx) * wy
-                    + self.get(x1, y1) * wx * wy;
-                out.set(x, y, v);
+            let omy = 1.0 - wy;
+            let r0 = &self.data[y0 * self.width..(y0 + 1) * self.width];
+            let r1 = &self.data[y1 * self.width..(y1 + 1) * self.width];
+            for &(x0, x1, wx) in &taps {
+                let omx = 1.0 - wx;
+                data.push(
+                    r0[x0] * omx * omy + r0[x1] * wx * omy + r1[x0] * omx * wy + r1[x1] * wx * wy,
+                );
             }
         }
-        out
+        GrayImage {
+            width: new_width,
+            height: new_height,
+            data,
+        }
     }
 
     /// Min–max normalises pixel values to `[0, 1]` in place; a constant

@@ -47,7 +47,7 @@ pub mod platt;
 pub mod scaler;
 pub mod svm;
 
-pub use cnn::FeatureExtractor;
+pub use cnn::{ConvScratch, FeatureExtractor};
 pub use image::GrayImage;
 pub use kernel::Kernel;
 pub use knn::KnnClassifier;

@@ -1,0 +1,81 @@
+//! Property tests pinning the im2col+GEMM CNN forward pass to the
+//! naive reference oracle.
+//!
+//! The GEMM path is constructed to be *bit-identical* to the naive
+//! 6-deep loop (same summation order per output pixel; zero-padded
+//! taps contribute exact `+0.0` terms), so these properties assert
+//! `to_bits` equality — not a tolerance — over random architectures,
+//! odd image sizes, and odd channel counts.
+
+use echo_ml::cnn::ConvScratch;
+use echo_ml::{FeatureExtractor, GrayImage};
+use proptest::prelude::*;
+
+fn image_from(seed: u64, w: usize, h: usize) -> GrayImage {
+    // Cheap deterministic pixel pattern with plenty of sign/scale
+    // variation; the extractor log-compresses, so keep values >= 0.
+    GrayImage::from_fn(w, h, move |x, y| {
+        let v = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((x * 31 + y * 17) as u64);
+        (v % 1024) as f64 / 8.0
+    })
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "feature {} differs: {} vs {}",
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    fn gemm_matches_reference_on_odd_geometries(
+        input_size in 5usize..24,
+        c1 in 1usize..5,
+        c2 in 1usize..4,
+        seed in 0u64..1_000,
+        img_w in 3usize..40,
+        img_h in 3usize..40,
+    ) {
+        let fx = FeatureExtractor::new(input_size, &[c1, c2], seed);
+        let img = image_from(seed, img_w, img_h);
+        let fast = fx.extract(&img);
+        let naive = fx.extract_reference(&img);
+        assert_bits_eq(&fast, &naive)?;
+    }
+
+    fn gemm_matches_reference_single_layer(
+        input_size in 3usize..30,
+        channels in 1usize..7,
+        seed in 0u64..1_000,
+    ) {
+        let fx = FeatureExtractor::new(input_size, &[channels], seed);
+        let img = image_from(seed ^ 0x9e37, input_size, input_size);
+        assert_bits_eq(&fx.extract(&img), &fx.extract_reference(&img))?;
+    }
+
+    fn scratch_reuse_never_contaminates(
+        input_size in 5usize..20,
+        seed in 0u64..500,
+    ) {
+        let fx = FeatureExtractor::new(input_size, &[3, 2], seed);
+        let a = image_from(seed, 25, 19);
+        let b = image_from(seed.wrapping_add(1), 11, 33);
+        let mut scratch = ConvScratch::new();
+        // Dirty the scratch with image a, then extract b through it.
+        let _ = fx.extract_with_scratch(&a, &mut scratch);
+        let through_dirty = fx.extract_with_scratch(&b, &mut scratch);
+        assert_bits_eq(&through_dirty, &fx.extract_reference(&b))?;
+    }
+}

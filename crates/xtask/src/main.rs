@@ -26,7 +26,8 @@ fn main() {
 const USAGE: &str = "usage: cargo xtask ci
 
 tasks:
-  ci    run the full CI gate (fmt, clippy, build, tests, fault suite, bench build)";
+  ci    run the full CI gate (fmt, clippy, build, tests, fault and
+        determinism suites, property suites, bench build + smoke run)";
 
 /// One gate step: display name, cargo arguments, extra environment.
 type Step = (
@@ -85,7 +86,66 @@ fn ci() {
             ],
             &[("ECHOIMAGE_THREADS", "0")],
         ),
+        // The fast feature path claims bit-identity across thread
+        // counts, batch sizes, and cache states; hold it both pinned
+        // serial and with the worker pool.
+        (
+            "feature determinism (threads = 1)",
+            &[
+                "test",
+                "-q",
+                "-p",
+                "echoimage-core",
+                "--test",
+                "feature_determinism",
+            ],
+            &[("ECHOIMAGE_THREADS", "1")],
+        ),
+        (
+            "feature determinism (threads = 0)",
+            &[
+                "test",
+                "-q",
+                "-p",
+                "echoimage-core",
+                "--test",
+                "feature_determinism",
+            ],
+            &[("ECHOIMAGE_THREADS", "0")],
+        ),
+        (
+            "GEMM forward vs naive oracle (property suite)",
+            &["test", "-q", "-p", "echo-ml", "--test", "cnn_properties"],
+            &[],
+        ),
+        (
+            "FFT plan vs unplanned reference (property suite)",
+            &[
+                "test",
+                "-q",
+                "-p",
+                "echo-dsp",
+                "--test",
+                "fft_plan_properties",
+            ],
+            &[],
+        ),
         ("bench build", &["bench", "--no-run", "--workspace"], &[]),
+        (
+            "feature bench smoke run",
+            &[
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "echo-bench",
+                "--bin",
+                "feature_bench",
+                "--",
+                "--quick",
+            ],
+            &[],
+        ),
     ];
     for (name, args, envs) in steps {
         run(name, args, envs);

@@ -41,4 +41,5 @@ fn main() {
         Ok(p) => artefact_note(&p),
         Err(e) => eprintln!("could not write artefact: {e}"),
     }
+    echo_bench::finish_metrics();
 }

@@ -90,4 +90,5 @@ fn main() {
         );
     }
     println!("\n⇒ the 2–3 kHz beep sits above the noise floor and below the grating-lobe limit.");
+    echo_bench::finish_metrics();
 }

@@ -10,17 +10,27 @@
 //!   the packed-real path and the cached-template
 //!   [`MatchedFilterPlan`].
 //!
+//! A third section runs the full capture→features pipeline on a small
+//! simulated train with the observability layer enabled and reports the
+//! per-stage latency breakdown plus cache hit rates.
+//!
 //! Writes `BENCH_features.json` at the repository root so successive
 //! PRs accumulate a perf trajectory. `--quick` shrinks iteration counts
-//! for CI smoke runs.
+//! for CI smoke runs; `--out <path>` writes the JSON artefact to an
+//! explicit path even under `--quick` (the bench-regression gate uses
+//! this to collect a fresh sample without disturbing the baseline).
 
-use echo_bench::{banner, quick_mode};
+use echo_bench::{banner, flag_value, quick_mode};
 use echo_dsp::correlate::{matched_filter, CorrelationScratch, MatchedFilterPlan};
 use echo_dsp::fft::{fft, ifft, next_pow2};
 use echo_dsp::Complex;
 use echo_ml::cnn::ConvScratch;
 use echo_ml::{FeatureExtractor, GrayImage};
+use echo_sim::{BodyModel, Placement, Scene, SceneConfig};
+use echoimage_core::config::ImagingConfig;
 use echoimage_core::features::ImageFeatures;
+use echoimage_core::pipeline::{EchoImagePipeline, PipelineConfig};
+use echoimage_core::{steering_cache, template_cache};
 use std::time::Instant;
 
 /// Best-of-`reps` mean nanoseconds per iteration of `f`.
@@ -57,6 +67,49 @@ fn matched_filter_unplanned(signal: &[f64], template: &[f64]) -> Vec<f64> {
 
 fn bench_image(k: usize) -> GrayImage {
     GrayImage::from_fn(64, 64, move |x, y| ((x * 13 + y * 29 + k * 7) % 97) as f64)
+}
+
+/// Runs the full capture→features pipeline `iters` times with a cold
+/// start and returns the observability snapshot: per-stage latency
+/// histograms plus cache hit/miss counters. The first iteration pays
+/// every cache miss; the rest measure the steady state the evaluation
+/// sweeps actually run in.
+fn pipeline_stage_snapshot(iters: usize) -> echo_obs::MetricsSnapshot {
+    let scene = Scene::new(SceneConfig::laboratory_quiet(11));
+    let body = BodyModel::from_seed(29);
+    let caps = scene.capture_train(&body, &Placement::standing_front(0.7), 0, 3, 0);
+    let pipeline = EchoImagePipeline::new(PipelineConfig {
+        imaging: ImagingConfig {
+            grid_n: 16,
+            grid_spacing: 0.1,
+            ..ImagingConfig::default()
+        },
+        threads: 1,
+        ..PipelineConfig::default()
+    });
+    steering_cache::clear_cache();
+    template_cache::clear_template_cache();
+    echo_dsp::plan::clear_plan_cache();
+    echo_obs::reset();
+    for _ in 0..iters {
+        pipeline
+            .features_from_train(&caps)
+            .expect("pipeline run failed");
+    }
+    echo_obs::snapshot()
+}
+
+/// Hit/miss/hit-rate for one cache, from counter values in a snapshot.
+fn cache_row(snap: &echo_obs::MetricsSnapshot, cache: &str) -> (u64, u64, f64) {
+    let hits = snap.counter(&format!("{cache}.hit")).unwrap_or(0);
+    let misses = snap.counter(&format!("{cache}.miss")).unwrap_or(0);
+    let total = hits + misses;
+    let rate = if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    };
+    (hits, misses, rate)
 }
 
 fn assert_bits_eq(label: &str, a: &[Vec<f64>], b: &[Vec<f64>]) {
@@ -176,6 +229,61 @@ fn main() {
         mf_unplanned_ns / mf_planned_ns
     );
 
+    // ── end-to-end pipeline stage breakdown ──────────────────────────
+    let stage_iters = if quick { 2 } else { 8 };
+    let snap = pipeline_stage_snapshot(stage_iters);
+    println!(
+        "\npipeline stage breakdown ({stage_iters} cold-start train(s), \
+         16×16 grid, 3 beeps):"
+    );
+    println!(
+        "  {:<18} {:>6} {:>12} {:>12} {:>12}",
+        "stage", "count", "mean µs", "min µs", "max µs"
+    );
+    let stages: Vec<&echo_obs::HistogramSnapshot> = snap
+        .histograms
+        .iter()
+        .filter(|h| h.name.starts_with("stage.") && h.count > 0)
+        .collect();
+    for h in &stages {
+        println!(
+            "  {:<18} {:>6} {:>12.1} {:>12.1} {:>12.1}",
+            h.name,
+            h.count,
+            h.mean_ns().unwrap_or(0.0) / 1e3,
+            h.min_ns.unwrap_or(0) as f64 / 1e3,
+            h.max_ns.unwrap_or(0) as f64 / 1e3,
+        );
+    }
+    const CACHES: [&str; 3] = ["steering_cache", "template_cache", "fft_plan_cache"];
+    println!("  cache hit rates:");
+    let mut cache_json = Vec::new();
+    for cache in CACHES {
+        let (hits, misses, rate) = cache_row(&snap, cache);
+        println!(
+            "    {cache:<16} {hits:>5} hits {misses:>5} misses   ({:.1}%)",
+            rate * 100.0
+        );
+        cache_json.push(format!(
+            "    {{\"name\": \"{cache}\", \"hits\": {hits}, \"misses\": {misses}, \
+             \"hit_rate\": {rate:.4}}}"
+        ));
+    }
+    let stage_json: Vec<String> = stages
+        .iter()
+        .map(|h| {
+            format!(
+                "    {{\"name\": \"{}\", \"count\": {}, \"mean_ns\": {:.0}, \
+                 \"min_ns\": {}, \"max_ns\": {}}}",
+                h.name,
+                h.count,
+                h.mean_ns().unwrap_or(0.0),
+                h.min_ns.unwrap_or(0),
+                h.max_ns.unwrap_or(0)
+            )
+        })
+        .collect();
+
     // ── artefact ─────────────────────────────────────────────────────
     let batch_json: Vec<String> = batch_rows
         .iter()
@@ -189,11 +297,26 @@ fn main() {
          \"batch_16_images\": [\n{}\n  ],\n  \
          \"matched_filter\": {{\n    \"unplanned_ns\": {mf_unplanned_ns:.0},\n    \
          \"packed_ns\": {mf_packed_ns:.0},\n    \"planned_ns\": {mf_planned_ns:.0},\n    \
-         \"speedup_vs_unplanned\": {:.2}\n  }}\n}}\n",
+         \"speedup_vs_unplanned\": {:.2}\n  }},\n  \
+         \"stages\": [\n{}\n  ],\n  \
+         \"caches\": [\n{}\n  ]\n}}\n",
         batch_json.join(",\n"),
         mf_unplanned_ns / mf_planned_ns,
+        stage_json.join(",\n"),
+        cache_json.join(",\n"),
     );
-    if quick {
+    if let Some(out) = flag_value("--out").map(std::path::PathBuf::from) {
+        // Explicit destination (the bench-regression gate): write the
+        // sample wherever asked, quick or not, without touching the
+        // committed baseline.
+        if let Some(dir) = out.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&out, &json) {
+            Ok(()) => println!("\nartefact: {}", out.display()),
+            Err(e) => eprintln!("could not write {}: {e}", out.display()),
+        }
+    } else if quick {
         // Smoke runs have too few iterations to be worth recording;
         // keep the last full run's numbers in the artefact.
         println!("\n--quick: BENCH_features.json left untouched");
@@ -213,4 +336,5 @@ fn main() {
     if single_speedup < 4.0 && !quick {
         eprintln!("WARNING: single-image speedup {single_speedup:.2}× below the 4× gate");
     }
+    echo_bench::finish_metrics();
 }

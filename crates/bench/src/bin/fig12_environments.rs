@@ -47,4 +47,5 @@ fn main() {
         Ok(p) => artefact_note(&p),
         Err(e) => eprintln!("could not write artefact: {e}"),
     }
+    echo_bench::finish_metrics();
 }

@@ -6,10 +6,41 @@
 //! writes a JSON artefact under `target/experiments/`.
 
 use echo_eval::metrics::AuthMetrics;
+use std::path::PathBuf;
 
 /// Parses the common `--quick` flag (reduced counts for smoke runs).
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// The value following a `--flag` argument, if present.
+pub fn flag_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Parses the common `--metrics-out <path>` flag: where to write the
+/// observability snapshot when the run completes.
+pub fn metrics_out() -> Option<PathBuf> {
+    flag_value("--metrics-out").map(PathBuf::from)
+}
+
+/// Writes the process-wide metrics snapshot to `--metrics-out` (no-op
+/// when the flag is absent). Every experiment binary calls this last,
+/// so per-stage latency and cache hit-rate numbers for the whole run
+/// land next to the experiment artefact.
+pub fn finish_metrics() {
+    let Some(path) = metrics_out() else { return };
+    let json = echo_obs::snapshot().to_json();
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("could not write metrics to {}: {e}", path.display()),
+    }
 }
 
 /// Prints a standard experiment header.

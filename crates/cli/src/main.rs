@@ -12,7 +12,8 @@ use std::process::ExitCode;
 mod commands;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_out = take_metrics_out(&mut args);
     let Some((command, rest)) = args.split_first() else {
         print_usage();
         return ExitCode::FAILURE;
@@ -29,12 +30,39 @@ fn main() -> ExitCode {
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if let Some(path) = metrics_out {
+                write_metrics(&path);
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("run `echoimage help` for usage");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Strips the global `--metrics-out <path>` flag (valid in any position
+/// and for every command) before dispatch, returning its value.
+fn take_metrics_out(args: &mut Vec<String>) -> Option<String> {
+    let pos = args.iter().position(|a| a == "--metrics-out")?;
+    if pos + 1 >= args.len() {
+        eprintln!("warning: --metrics-out needs a path; ignoring");
+        args.remove(pos);
+        return None;
+    }
+    let path = args.remove(pos + 1);
+    args.remove(pos);
+    Some(path)
+}
+
+/// Writes the observability snapshot collected during the command.
+fn write_metrics(path: &str) {
+    match std::fs::write(path, echo_obs::snapshot().to_json()) {
+        Ok(()) => println!("metrics: {path}"),
+        Err(e) => eprintln!("could not write metrics to {path}: {e}"),
     }
 }
 
@@ -61,6 +89,11 @@ COMMANDS:
                  --preroll <n>      noise-only samples      [default: 480]
     demo       run an end-to-end enrol/authenticate demonstration
                  --seed <u64>       scenario seed           [default: 7]
-    help       show this message"
+    help       show this message
+
+GLOBAL OPTIONS:
+    --metrics-out <path>   write a JSON observability snapshot (stage
+                           latencies, cache hit rates, pipeline counters)
+                           after the command succeeds"
     );
 }

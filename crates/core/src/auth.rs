@@ -411,6 +411,8 @@ impl Authenticator {
         pipeline: &EchoImagePipeline,
         captures: &[BeepCapture],
     ) -> Result<AuthDecision, EchoImageError> {
+        let _span = echo_obs::span!("stage.auth");
+        echo_obs::counter!("auth.train_attempts").inc();
         let (features, _health) = pipeline.features_from_train_degraded(captures)?;
         let mut counts: Vec<(usize, usize)> = Vec::new();
         for f in &features {
@@ -421,12 +423,18 @@ impl Authenticator {
                 }
             }
         }
-        Ok(counts
+        let decision = counts
             .iter()
             .max_by_key(|(_, n)| *n)
             .filter(|(_, n)| 2 * n > features.len())
             .map(|(id, _)| AuthDecision::Accepted { user_id: *id })
-            .unwrap_or(AuthDecision::Rejected))
+            .unwrap_or(AuthDecision::Rejected);
+        if decision.is_accepted() {
+            echo_obs::counter!("auth.accepted").inc();
+        } else {
+            echo_obs::counter!("auth.rejected").inc();
+        }
+        Ok(decision)
     }
 
     /// [`Authenticator::authenticate_train`] with retry-on-degraded
@@ -456,6 +464,9 @@ impl Authenticator {
             required: 0,
         };
         for attempt in 0..attempts {
+            if attempt > 0 {
+                echo_obs::counter!("auth.retries").inc();
+            }
             let captures = provider(attempt);
             match self.authenticate_train(pipeline, &captures) {
                 Err(e @ EchoImageError::DegradedCapture { .. }) => last = e,

@@ -83,6 +83,8 @@ pub fn estimate_distance(
     if n == 0 {
         return Err(EchoImageError::InvalidParameter("captures hold no samples"));
     }
+    let _span = echo_obs::span!("stage.distance");
+    echo_obs::counter!("distance.estimates").inc();
 
     let dcfg = &config.distance;
     let look = Direction::new(dcfg.azimuth, dcfg.elevation);

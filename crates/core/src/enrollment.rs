@@ -80,6 +80,7 @@ pub fn enrollment_features(
     if visits.is_empty() || visits.iter().any(|v| v.is_empty()) {
         return Err(EchoImageError::NoCaptures);
     }
+    let _span = echo_obs::span!("stage.enroll");
     let imaging = &pipeline.config().imaging;
     // Gather every image (captured, re-planed, and augmented) first,
     // then extract features in one batch over the configured thread

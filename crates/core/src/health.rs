@@ -235,6 +235,8 @@ pub fn screen_train(
     for capture in &captures[1..] {
         health.merge(&screen_capture(capture, config));
     }
+    echo_obs::counter!("health.trains_screened").inc();
+    echo_obs::counter!("health.channels_excised").add((m - health.num_healthy()) as u64);
     Ok(health)
 }
 

@@ -85,6 +85,8 @@ pub fn construct_image_with_covariance(
         // fault layer produces exactly these, so fail loudly instead.
         return Err(EchoImageError::InvalidParameter("capture holds no samples"));
     }
+    let _span = echo_obs::span!("stage.imaging");
+    echo_obs::counter!("pipeline.images_constructed").inc();
 
     let icfg = &config.imaging;
     let fs = capture.sample_rate();

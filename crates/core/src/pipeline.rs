@@ -88,6 +88,7 @@ impl EchoImagePipeline {
     /// Band-passes every channel to the probing band (zero-phase, so
     /// echo timing is unaffected).
     pub fn preprocess(&self, capture: &BeepCapture) -> BeepCapture {
+        let _span = echo_obs::span!("stage.preprocess");
         capture.map_channels(|ch| self.bandpass.filtfilt(ch))
     }
 
@@ -130,6 +131,8 @@ impl EchoImagePipeline {
         &self,
         captures: &[BeepCapture],
     ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
+        echo_obs::counter!("pipeline.trains").inc();
+        echo_obs::counter!("pipeline.beeps_imaged").add(captures.len() as u64);
         let filtered: Vec<BeepCapture> =
             parallel_map_indexed(captures, self.config.threads, |_, c| self.preprocess(c));
         let estimate = estimate_distance(&filtered, &self.array, &self.config)?;
@@ -171,6 +174,8 @@ impl EchoImagePipeline {
         captures: &[BeepCapture],
         plane_offsets: &[f64],
     ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
+        echo_obs::counter!("pipeline.trains").inc();
+        echo_obs::counter!("pipeline.beeps_imaged").add(captures.len() as u64);
         let filtered: Vec<BeepCapture> =
             parallel_map_indexed(captures, self.config.threads, |_, c| self.preprocess(c));
         let estimate = estimate_distance(&filtered, &self.array, &self.config)?;
@@ -210,6 +215,8 @@ impl EchoImagePipeline {
     /// Extracts features for a batch of images over the configured
     /// thread count (bit-identical to mapping [`EchoImagePipeline::features`]).
     pub fn features_batch(&self, images: &[GrayImage]) -> Vec<Vec<f64>> {
+        let _span = echo_obs::span!("stage.features");
+        echo_obs::counter!("pipeline.features_extracted").add(images.len() as u64);
         self.features
             .extract_batch_threaded(images, self.config.threads)
     }
@@ -255,11 +262,13 @@ impl EchoImagePipeline {
         let healthy = health.healthy_indices();
         let required = self.config.health.min_mics.max(2);
         if healthy.len() < required {
+            echo_obs::counter!("degraded.rejections").inc();
             return Err(EchoImageError::DegradedCapture {
                 healthy: healthy.len(),
                 required,
             });
         }
+        echo_obs::counter!("degraded.activations").inc();
         let sub_captures: Vec<BeepCapture> = captures
             .iter()
             .map(|c| c.select_channels(&healthy))

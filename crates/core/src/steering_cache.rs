@@ -13,12 +13,19 @@
 //! cached value *is* the output of [`compute_field`] for the same key,
 //! and every component of the key enters the key as exact bits
 //! (`f64::to_bits`), so no two distinct geometries ever share an entry.
+//!
+//! Lookups feed the `steering_cache.hit` / `steering_cache.miss`
+//! counters. The hit/miss decision is made while holding the cache
+//! lock, and a miss publishes its in-flight slot before releasing it,
+//! so the counts are deterministic for a fixed workload at any worker
+//! count (as long as the working set fits [`CACHE_CAPACITY`], which it
+//! does by design).
 
 use crate::config::ImagingConfig;
 use echo_array::{Direction, MicArray, Vec3};
 use echo_dsp::Complex;
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Steering data for one grid cell.
 #[derive(Debug, Clone)]
@@ -57,8 +64,15 @@ struct FieldKey {
     f0_bits: u64,
 }
 
+/// One cache entry: the slot is published under the lock before the
+/// field exists, so racing workers share a single computation
+/// (`OnceLock::get_or_init` blocks the laggards) and the hit/miss
+/// split is decided at key-lookup time — deterministic for a fixed
+/// workload regardless of thread count or interleaving.
+type Slot = Arc<OnceLock<Arc<SteeringField>>>;
+
 /// Most-recently-used-first list; linear scan is fine at this size.
-static CACHE: Mutex<Vec<(FieldKey, Arc<SteeringField>)>> = Mutex::new(Vec::new());
+static CACHE: Mutex<Vec<(FieldKey, Slot)>> = Mutex::new(Vec::new());
 
 /// Distinct geometries kept alive. A run touches one array, one grid
 /// and a few plane distances (estimate ± enrolment offsets), so eight
@@ -106,26 +120,28 @@ pub fn steering_field(
         distance_bits: horizontal_distance.to_bits(),
         f0_bits: f0.to_bits(),
     };
-    {
+    let slot = {
         let mut cache = CACHE.lock();
         if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+            echo_obs::counter!("steering_cache.hit").inc();
             let hit = cache.remove(pos);
-            let field = Arc::clone(&hit.1);
+            let slot = Arc::clone(&hit.1);
             cache.insert(0, hit);
-            return field;
+            slot
+        } else {
+            echo_obs::counter!("steering_cache.miss").inc();
+            let slot: Slot = Arc::new(OnceLock::new());
+            cache.insert(0, (key, Arc::clone(&slot)));
+            cache.truncate(CACHE_CAPACITY);
+            slot
         }
-    }
+    };
     // Compute outside the lock: a field is thousands of steering
-    // vectors, and concurrent beeps of the same train should not
-    // serialize on it. A racing duplicate computation is harmless —
-    // both produce identical fields and the second insert wins.
-    let field = Arc::new(compute_field(array, icfg, horizontal_distance, f0));
-    let mut cache = CACHE.lock();
-    if !cache.iter().any(|(k, _)| *k == key) {
-        cache.insert(0, (key, Arc::clone(&field)));
-        cache.truncate(CACHE_CAPACITY);
-    }
-    field
+    // vectors, and concurrent beeps of *different* geometries should
+    // not serialize on it. Workers racing for the same key coalesce on
+    // the slot's `get_or_init` — exactly one computes, the rest block
+    // for the shared result, and the miss above was counted once.
+    Arc::clone(slot.get_or_init(|| Arc::new(compute_field(array, icfg, horizontal_distance, f0))))
 }
 
 /// [`steering_field`] for a microphone subset of `array`: the array is

@@ -16,7 +16,7 @@
 use crate::config::BeepConfig;
 use echo_dsp::correlate::MatchedFilterPlan;
 use echo_dsp::hilbert::analytic_signal;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Beep parameters that determine the chirp template, as exact bits.
 type TemplateKey = [u64; 4];
@@ -31,8 +31,14 @@ fn template_key(beep: &BeepConfig) -> TemplateKey {
     ]
 }
 
+/// One cache entry: the slot is published under the lock before the
+/// plan exists, so racing workers coalesce on one synthesis and the
+/// `template_cache.hit` / `template_cache.miss` counters are
+/// deterministic for a fixed workload at any worker count.
+type Slot = Arc<OnceLock<Arc<MatchedFilterPlan>>>;
+
 /// Most-recently-used-first plan list.
-static CACHE: Mutex<Vec<(TemplateKey, Arc<MatchedFilterPlan>)>> = Mutex::new(Vec::new());
+static CACHE: Mutex<Vec<(TemplateKey, Slot)>> = Mutex::new(Vec::new());
 
 /// Distinct beep designs kept alive; runs use one, ablations a handful.
 const CAPACITY: usize = 4;
@@ -42,24 +48,28 @@ const CAPACITY: usize = 4;
 /// analytic signals against), computing and caching it on first use.
 pub fn chirp_template_plan(beep: &BeepConfig) -> Arc<MatchedFilterPlan> {
     let key = template_key(beep);
-    {
+    let slot = {
         let mut cache = CACHE.lock().expect("chirp template cache poisoned");
         if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+            echo_obs::counter!("template_cache.hit").inc();
             let hit = cache.remove(pos);
-            let plan = Arc::clone(&hit.1);
+            let slot = Arc::clone(&hit.1);
             cache.insert(0, hit);
-            return plan;
+            slot
+        } else {
+            echo_obs::counter!("template_cache.miss").inc();
+            let slot: Slot = Arc::new(OnceLock::new());
+            cache.insert(0, (key, Arc::clone(&slot)));
+            cache.truncate(CAPACITY);
+            slot
         }
-    }
-    // Synthesise outside the lock; a racing duplicate is harmless.
-    let chirp = beep.chirp().samples();
-    let plan = Arc::new(MatchedFilterPlan::new_complex(&analytic_signal(&chirp)));
-    let mut cache = CACHE.lock().expect("chirp template cache poisoned");
-    if !cache.iter().any(|(k, _)| *k == key) {
-        cache.insert(0, (key, Arc::clone(&plan)));
-        cache.truncate(CAPACITY);
-    }
-    plan
+    };
+    // Synthesise outside the lock; same-key racers block on the slot
+    // and share the one plan instead of duplicating the synthesis.
+    Arc::clone(slot.get_or_init(|| {
+        let chirp = beep.chirp().samples();
+        Arc::new(MatchedFilterPlan::new_complex(&analytic_signal(&chirp)))
+    }))
 }
 
 /// Number of templates currently cached (for tests and benchmarks).

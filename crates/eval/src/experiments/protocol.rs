@@ -86,6 +86,7 @@ pub fn enroll(
     // worker threads. Each worker images serially (worker_pipeline pins
     // one thread), and results merge in subject order, so the enrolled
     // model is bit-identical to the serial loop.
+    echo_obs::counter!("eval.jobs").add(registered.len() as u64);
     let worker = harness.worker_pipeline();
     let per_user = parallel_map_indexed(registered, harness.threads(), |_, profile| {
         let body = profile.body();
@@ -129,6 +130,8 @@ pub fn enroll(
         };
         Ok((profile.id as usize, feats))
     });
+    let failures = per_user.iter().filter(|r| r.is_err()).count();
+    echo_obs::counter!("eval.job_failures").add(failures as u64);
     let users = per_user
         .into_iter()
         .collect::<Result<Vec<_>, EchoImageError>>()?;
@@ -202,7 +205,7 @@ mod tests {
     /// spoofers, small grid. This is the reproduction's core claim in
     /// miniature — the full-scale version is Fig. 11.
     #[test]
-    fn miniature_authentication_run_beats_chance() {
+    fn miniature_authentication_run_beats_chance() -> Result<(), EchoImageError> {
         let cfg = PipelineConfig {
             imaging: ImagingConfig {
                 grid_n: 24,
@@ -225,7 +228,8 @@ mod tests {
             test_sessions: vec![0],
             ..ProtocolConfig::default()
         };
-        let auth = enroll(&harness, &registered, &spec, &proto).unwrap();
+        // A failed enrolment is a typed pipeline error, not a panic.
+        let auth = enroll(&harness, &registered, &spec, &proto)?;
         let cm = evaluate(&harness, &auth, &registered, &spoofers, &spec, &proto);
         assert_eq!(cm.total(), (3 + 2) * 4);
         let m = cm.metrics();
@@ -237,5 +241,6 @@ mod tests {
             cm.spoofer_detection_rate(),
             cm.to_table()
         );
+        Ok(())
     }
 }

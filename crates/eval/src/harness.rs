@@ -270,14 +270,19 @@ impl Harness {
         &self,
         jobs: &[(UserProfile, CaptureSpec)],
     ) -> Vec<Result<Vec<Vec<f64>>, EchoImageError>> {
+        let _span = echo_obs::span!("stage.eval_batch");
+        echo_obs::counter!("eval.jobs").add(jobs.len() as u64);
         let worker = self.worker_pipeline();
-        parallel_map_indexed(jobs, self.threads, |_, (profile, spec)| {
+        let results = parallel_map_indexed(jobs, self.threads, |_, (profile, spec)| {
             let captures = self.capture_train(&profile.body(), spec);
             let (images, _) = Self::route_images(&worker, spec, &captures)?;
             // Each job is already on a pool worker; extract its images
             // serially with one reused scratch (no nested fan-out).
             Ok(worker.feature_extractor().extract_batch(&images))
-        })
+        });
+        let failures = results.iter().filter(|r| r.is_err()).count();
+        echo_obs::counter!("eval.job_failures").add(failures as u64);
+        results
     }
 }
 

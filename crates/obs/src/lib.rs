@@ -1,0 +1,99 @@
+//! `echo-obs` — observability substrate for the EchoImage pipeline.
+//!
+//! A process-wide, thread-safe registry of three metric kinds:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (cache hits, beeps
+//!   processed, degraded-mode activations),
+//! * [`Gauge`] — a settable `i64` level (cache occupancy, configured
+//!   thread count),
+//! * [`Histogram`] — fixed-bucket latency distribution in nanoseconds,
+//!   fed by RAII [`Span`]s timed on the monotonic clock.
+//!
+//! Call sites name metrics through the [`counter!`], [`gauge!`],
+//! [`histogram!`] and [`span!`] macros, which resolve the registry entry
+//! once per call site and cache the `&'static` handle in a local
+//! `OnceLock` — after the first pass a counter bump is one relaxed
+//! atomic load (the enabled flag) plus one relaxed `fetch_add`.
+//!
+//! The whole registry can be disabled ([`set_enabled`]): every metric
+//! operation then reduces to the single flag load and spans skip the
+//! clock entirely, so instrumented hot paths run at ~zero overhead.
+//!
+//! # Determinism contract
+//!
+//! **Counter values are deterministic**: for a fixed workload they are
+//! bit-for-bit identical across worker-thread counts and repeated runs,
+//! because every counter counts *logical events* (a train imaged, a
+//! cache slot created) rather than anything timing-dependent. The cache
+//! layers in `echo-dsp` / `echoimage-core` uphold this by publishing a
+//! shared in-flight slot under their lock before computing, so a cold
+//! miss is counted exactly once no matter how many workers race for the
+//! same key. **Histogram contents and gauges are wall-clock- or
+//! machine-dependent** and are explicitly outside the contract; only
+//! the *number* of histogram observations is deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! echo_obs::counter!("doc.events").inc();
+//! {
+//!     let _span = echo_obs::span!("doc.stage");
+//!     // ... timed work ...
+//! }
+//! let snap = echo_obs::snapshot();
+//! assert!(snap.counter("doc.events").unwrap() >= 1);
+//! assert!(snap.to_json().contains("\"doc.stage\""));
+//! ```
+
+mod metrics;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, BUCKET_BOUNDS_NS};
+pub use registry::{is_enabled, registry, reset, set_enabled, Registry};
+pub use snapshot::{snapshot, HistogramSnapshot, MetricsSnapshot};
+pub use span::Span;
+
+/// Resolves (and on first use registers) the named [`Counter`], caching
+/// the handle per call site. `$name` must be a `&'static str`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// Resolves (and on first use registers) the named [`Gauge`], caching
+/// the handle per call site. `$name` must be a `&'static str`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// Resolves (and on first use registers) the named [`Histogram`],
+/// caching the handle per call site. `$name` must be a `&'static str`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+/// Opens an RAII [`Span`] over the named histogram: the span records its
+/// wall-clock lifetime (monotonic, nanoseconds) into the histogram when
+/// dropped. Bind it — `let _span = span!("stage.imaging");` — or the
+/// span closes immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($crate::histogram!($name))
+    };
+}

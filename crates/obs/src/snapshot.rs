@@ -1,0 +1,195 @@
+//! Point-in-time registry snapshots and the hand-rolled JSON exporter.
+//!
+//! The exporter is deliberately dependency-free (the workspace's
+//! vendored `serde_json` stub has no generic `Value`); metric names are
+//! programmer-chosen `&'static str`s, so escaping only needs to cover
+//! the JSON control set, which `escape` does anyway for safety.
+
+use crate::metrics::BUCKET_BOUNDS_NS;
+use crate::registry::{is_enabled, registry};
+
+/// One histogram frozen at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum_ns: u64,
+    pub min_ns: Option<u64>,
+    pub max_ns: Option<u64>,
+    /// Counts per bucket; `buckets[i]` covers observations ≤
+    /// [`BUCKET_BOUNDS_NS`]`[i]`, and the final entry is the overflow
+    /// bucket (bound reported as `null` in JSON).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in nanoseconds, or `None` before the first one.
+    pub fn mean_ns(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_ns as f64 / self.count as f64)
+    }
+}
+
+/// Every registered metric frozen at one point in time, sorted by name
+/// within each kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    pub enabled: bool,
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Takes a [`MetricsSnapshot`] of the process-wide registry.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut counters: Vec<(String, u64)> = registry()
+        .counters()
+        .into_iter()
+        .map(|(name, c)| (name.to_string(), c.get()))
+        .collect();
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut gauges: Vec<(String, i64)> = registry()
+        .gauges()
+        .into_iter()
+        .map(|(name, g)| (name.to_string(), g.get()))
+        .collect();
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut histograms: Vec<HistogramSnapshot> = registry()
+        .histograms()
+        .into_iter()
+        .map(|(name, h)| HistogramSnapshot {
+            name: name.to_string(),
+            count: h.count(),
+            sum_ns: h.sum_ns(),
+            min_ns: h.min_ns(),
+            max_ns: h.max_ns(),
+            buckets: h.bucket_counts().to_vec(),
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+
+    MetricsSnapshot {
+        enabled: is_enabled(),
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |v| v.to_string())
+}
+
+impl MetricsSnapshot {
+    /// Value of the named counter at snapshot time, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of the named gauge at snapshot time, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The named histogram snapshot, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serialises the snapshot as pretty-printed JSON. Counters and
+    /// gauges become name→value objects; each histogram carries count,
+    /// sum/min/max/mean in ns, and a `buckets` array of
+    /// `{"le_ns": bound-or-null, "count": n}` rows. Key order is sorted
+    /// by metric name, so two snapshots of the same registry state
+    /// serialise byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"enabled\": {},\n", self.enabled));
+
+        out.push_str("  \"counters\": {");
+        let rows: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(name, v)| format!("\n    \"{}\": {v}", escape(name)))
+            .collect();
+        if rows.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str(&rows.join(","));
+            out.push_str("\n  },\n");
+        }
+
+        out.push_str("  \"gauges\": {");
+        let rows: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(name, v)| format!("\n    \"{}\": {v}", escape(name)))
+            .collect();
+        if rows.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str(&rows.join(","));
+            out.push_str("\n  },\n");
+        }
+
+        out.push_str("  \"histograms\": [");
+        let rows: Vec<String> = self.histograms.iter().map(histogram_json).collect();
+        if rows.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str(&rows.join(","));
+            out.push_str("\n  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .map(|(i, &count)| {
+            let bound = BUCKET_BOUNDS_NS
+                .get(i)
+                .map_or_else(|| "null".into(), |b| b.to_string());
+            format!("{{\"le_ns\": {bound}, \"count\": {count}}}")
+        })
+        .collect();
+    let mean = h
+        .mean_ns()
+        .map_or_else(|| "null".into(), |m| format!("{m:.1}"));
+    format!(
+        "\n    {{\n      \"name\": \"{}\",\n      \"count\": {},\n      \
+         \"sum_ns\": {},\n      \"min_ns\": {},\n      \"max_ns\": {},\n      \
+         \"mean_ns\": {mean},\n      \"buckets\": [{}]\n    }}",
+        escape(&h.name),
+        h.count,
+        h.sum_ns,
+        opt_u64(h.min_ns),
+        opt_u64(h.max_ns),
+        buckets.join(", ")
+    )
+}

@@ -1,0 +1,38 @@
+//! RAII stage spans: time a scope on the monotonic clock and record the
+//! elapsed nanoseconds into a [`Histogram`] on drop.
+
+use crate::metrics::Histogram;
+use crate::registry::collecting;
+use std::time::Instant;
+
+/// A live span over one histogram. Created by [`Span::enter`] (usually
+/// via the [`span!`](crate::span) macro); records its lifetime when
+/// dropped. When the registry is disabled at entry, the span holds no
+/// start time and drop does nothing — the clock is never read.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct Span {
+    histogram: &'static Histogram,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Starts a span over `histogram` if collection is enabled.
+    #[inline]
+    pub fn enter(histogram: &'static Histogram) -> Self {
+        Self {
+            histogram,
+            start: collecting().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.histogram.observe_ns(ns);
+        }
+    }
+}

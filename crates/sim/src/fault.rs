@@ -272,6 +272,7 @@ impl FaultPlan {
         if self.is_empty() {
             return capture.clone();
         }
+        echo_obs::counter!("sim.fault_channels").add(self.faults.len() as u64);
         let mut channels: Vec<Vec<f64>> = capture.channels().to_vec();
         for (mic, fault) in &self.faults {
             assert!(
@@ -290,6 +291,9 @@ impl FaultPlan {
     /// Applies the plan to a whole beep train — the same hardware fault
     /// damages every beep of a session.
     pub fn apply_train(&self, captures: &[BeepCapture]) -> Vec<BeepCapture> {
+        if !self.is_empty() {
+            echo_obs::counter!("sim.fault_trains").inc();
+        }
         captures.iter().map(|c| self.apply(c)).collect()
     }
 }

@@ -182,6 +182,8 @@ impl Scene {
         session: u32,
         beep: u64,
     ) -> BeepCapture {
+        let _span = echo_obs::span!("stage.capture");
+        echo_obs::counter!("sim.beeps_captured").inc();
         let cfg = &self.config;
         let fs = cfg.sample_rate();
         let n = self.capture_samples();

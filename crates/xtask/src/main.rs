@@ -2,15 +2,25 @@
 //!
 //! `cargo xtask ci` replays the exact gate from
 //! `.github/workflows/ci.yml` locally — same commands, same order — so
-//! a change that passes here passes CI. Wired up through the `xtask`
-//! alias in `.cargo/config.toml`.
+//! a change that passes here passes CI. `cargo xtask bench-check` is
+//! the bench-regression gate: it collects a fresh `feature_bench`
+//! sample and fails if any gated kernel latency regressed more than the
+//! threshold against the committed `BENCH_features.json` baseline.
+//! Wired up through the `xtask` alias in `.cargo/config.toml`.
 
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::{exit, Command};
+
+mod jsonv;
+use jsonv::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("ci") => ci(),
+        Some("bench-check") => bench_check(&args[1..]),
+        Some("bench-baseline") => bench_baseline(),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             eprintln!("{USAGE}");
@@ -23,11 +33,33 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: cargo xtask ci
+const USAGE: &str = "usage: cargo xtask <ci | bench-check | bench-baseline>
 
 tasks:
-  ci    run the full CI gate (fmt, clippy, build, tests, fault and
-        determinism suites, property suites, bench build + smoke run)";
+  ci              run the full CI gate (fmt, clippy, build, tests, the
+                  determinism matrix, property suites, bench build +
+                  bench-regression check)
+  bench-check     collect a fresh feature_bench sample and fail on a
+                  latency regression beyond the threshold
+                    --baseline <path>   committed numbers
+                                        [default: BENCH_features.json]
+                    --fresh <path>      compare an existing sample
+                                        instead of running the bench
+                    --threshold <pct>   allowed regression [default: 25]
+                    --selftest          verify the comparator itself
+  bench-baseline  rerun the full (non-quick) feature bench and rewrite
+                  BENCH_features.json — the documented override when a
+                  deliberate change moves the baseline";
+
+/// The kernel latencies the regression gate holds. Deliberately the
+/// low-variance single-kernel timings — end-to-end stage timings and
+/// the naive-reference baselines wander too much on shared runners.
+const GATED_METRICS: [&str; 4] = [
+    "single_image.gemm_ns",
+    "single_image.gemm_scratch_ns",
+    "matched_filter.packed_ns",
+    "matched_filter.planned_ns",
+];
 
 /// One gate step: display name, cargo arguments, extra environment.
 type Step = (
@@ -36,8 +68,17 @@ type Step = (
     &'static [(&'static str, &'static str)],
 );
 
+/// The test suites that must hold bit-for-bit across worker-thread
+/// counts, mirrored by the CI determinism matrix.
+const DETERMINISM_SUITES: [&str; 3] = [
+    "fault_injection",
+    "feature_determinism",
+    "metrics_determinism",
+];
+
 /// The CI gate, in the same order as .github/workflows/ci.yml: cheap
-/// static checks first, the test run last.
+/// static checks first, then the determinism matrix, the test run, and
+/// the bench-regression check last.
 fn ci() {
     let steps: &[Step] = &[
         ("format check", &["fmt", "--all", "--check"], &[]),
@@ -60,59 +101,24 @@ fn ci() {
             &["test", "-q", "-p", "echo-sim", "fault"],
             &[],
         ),
-        // The degraded-imaging suite runs twice: pinned serial and with
-        // the worker pool, holding the bit-identity claim on both.
-        (
-            "degraded imaging (threads = 1)",
-            &[
-                "test",
-                "-q",
-                "-p",
-                "echoimage-core",
-                "--test",
-                "fault_injection",
-            ],
-            &[("ECHOIMAGE_THREADS", "1")],
-        ),
-        (
-            "degraded imaging (threads = 0)",
-            &[
-                "test",
-                "-q",
-                "-p",
-                "echoimage-core",
-                "--test",
-                "fault_injection",
-            ],
-            &[("ECHOIMAGE_THREADS", "0")],
-        ),
-        // The fast feature path claims bit-identity across thread
-        // counts, batch sizes, and cache states; hold it both pinned
-        // serial and with the worker pool.
-        (
-            "feature determinism (threads = 1)",
-            &[
-                "test",
-                "-q",
-                "-p",
-                "echoimage-core",
-                "--test",
-                "feature_determinism",
-            ],
-            &[("ECHOIMAGE_THREADS", "1")],
-        ),
-        (
-            "feature determinism (threads = 0)",
-            &[
-                "test",
-                "-q",
-                "-p",
-                "echoimage-core",
-                "--test",
-                "feature_determinism",
-            ],
-            &[("ECHOIMAGE_THREADS", "0")],
-        ),
+    ];
+    for (name, args, envs) in steps {
+        run(name, args, envs);
+    }
+    // Determinism matrix: every suite that claims bit-identical results
+    // (and metric counters) runs pinned serial and with the worker pool.
+    let mut matrix_steps = 0;
+    for threads in ["1", "0"] {
+        for suite in DETERMINISM_SUITES {
+            run(
+                &format!("{suite} (threads = {threads})"),
+                &["test", "-q", "-p", "echoimage-core", "--test", suite],
+                &[("ECHOIMAGE_THREADS", threads)],
+            );
+            matrix_steps += 1;
+        }
+    }
+    let tail: &[Step] = &[
         (
             "GEMM forward vs naive oracle (property suite)",
             &["test", "-q", "-p", "echo-ml", "--test", "cnn_properties"],
@@ -131,26 +137,237 @@ fn ci() {
             &[],
         ),
         ("bench build", &["bench", "--no-run", "--workspace"], &[]),
-        (
-            "feature bench smoke run",
-            &[
-                "run",
-                "--release",
-                "-q",
-                "-p",
-                "echo-bench",
-                "--bin",
-                "feature_bench",
-                "--",
-                "--quick",
-            ],
-            &[],
-        ),
     ];
-    for (name, args, envs) in steps {
+    for (name, args, envs) in tail {
         run(name, args, envs);
     }
-    println!("\nCI gate passed ({} steps)", steps.len());
+    println!("==> bench-regression check");
+    bench_check(&["--selftest".into()]);
+    bench_check(&[]);
+    println!(
+        "\nCI gate passed ({} steps)",
+        steps.len() + matrix_steps + tail.len() + 2
+    );
+}
+
+// ── bench-regression gate ────────────────────────────────────────────
+
+fn bench_check(args: &[String]) {
+    let mut baseline_path = PathBuf::from("BENCH_features.json");
+    let mut fresh_path: Option<PathBuf> = None;
+    let mut threshold_pct = 25.0f64;
+    let mut selftest = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = required_value(&mut it, "--baseline").into(),
+            "--fresh" => fresh_path = Some(required_value(&mut it, "--fresh").into()),
+            "--threshold" => {
+                let v = required_value(&mut it, "--threshold");
+                threshold_pct = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threshold wants a number, got `{v}`");
+                    exit(2);
+                });
+            }
+            "--selftest" => selftest = true,
+            other => {
+                eprintln!("unknown bench-check flag `{other}`");
+                exit(2);
+            }
+        }
+    }
+    if selftest {
+        bench_check_selftest(threshold_pct);
+        return;
+    }
+
+    let baseline = gated_metrics_from_file(&baseline_path);
+    let mut fresh = match &fresh_path {
+        Some(path) => gated_metrics_from_file(path),
+        None => collect_fresh_sample("target/bench-check/fresh.json"),
+    };
+    let mut failures = compare(&baseline, &fresh, threshold_pct);
+    if !failures.is_empty() && fresh_path.is_none() {
+        // Timing noise on a loaded machine produces one-off spikes; a
+        // genuine regression survives a second sample. Take the
+        // per-metric minimum of the two.
+        println!(
+            "possible regression on the first sample; \
+             collecting a second (per-metric min is kept)"
+        );
+        let second = collect_fresh_sample("target/bench-check/fresh2.json");
+        for (name, value) in second {
+            fresh
+                .entry(name)
+                .and_modify(|v| *v = v.min(value))
+                .or_insert(value);
+        }
+        failures = compare(&baseline, &fresh, threshold_pct);
+    }
+
+    println!(
+        "bench-check vs {} (threshold {threshold_pct}%):",
+        baseline_path.display()
+    );
+    for name in GATED_METRICS {
+        let (b, f) = (baseline.get(name), fresh.get(name));
+        if let (Some(b), Some(f)) = (b, f) {
+            println!(
+                "  {name:<30} {b:>10.0} ns → {f:>10.0} ns   ({:+.1}%)",
+                (f / b - 1.0) * 100.0
+            );
+        }
+    }
+    if failures.is_empty() {
+        println!("bench-check passed");
+    } else {
+        for f in &failures {
+            eprintln!("REGRESSION: {f}");
+        }
+        eprintln!(
+            "bench-check failed ({} metric(s)). If this change deliberately \
+             moves the baseline, rerun `cargo xtask bench-baseline` on a \
+             quiet machine and commit the new BENCH_features.json.",
+            failures.len()
+        );
+        exit(1);
+    }
+}
+
+/// Runs the quick feature bench, writing its artefact (and metrics
+/// snapshot) under target/bench-check/, and extracts the gated metrics.
+fn collect_fresh_sample(out: &str) -> BTreeMap<String, f64> {
+    run(
+        "feature bench sample",
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "echo-bench",
+            "--bin",
+            "feature_bench",
+            "--",
+            "--quick",
+            "--out",
+            out,
+            "--metrics-out",
+            "target/bench-check/metrics.json",
+        ],
+        &[],
+    );
+    gated_metrics_from_file(Path::new(out))
+}
+
+fn gated_metrics_from_file(path: &Path) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("could not read {}: {e}", path.display());
+        exit(1);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("could not parse {}: {e}", path.display());
+        exit(1);
+    });
+    GATED_METRICS
+        .iter()
+        .filter_map(|&name| Some((name.to_string(), doc.path(name)?.as_f64()?)))
+        .collect()
+}
+
+/// Gated metrics whose fresh value exceeds baseline × (1 + threshold).
+/// A metric missing from either side is also a failure — the gate must
+/// never silently shrink.
+fn compare(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    threshold_pct: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for name in GATED_METRICS {
+        match (baseline.get(name), fresh.get(name)) {
+            (Some(&b), Some(&f)) if b > 0.0 => {
+                let limit = b * (1.0 + threshold_pct / 100.0);
+                if f > limit {
+                    failures.push(format!(
+                        "{name}: {f:.0} ns vs baseline {b:.0} ns \
+                         (+{:.1}%, limit +{threshold_pct}%)",
+                        (f / b - 1.0) * 100.0
+                    ));
+                }
+            }
+            (Some(_), Some(_)) => failures.push(format!("{name}: non-positive baseline")),
+            (None, _) => failures.push(format!("{name}: missing from baseline")),
+            (_, None) => failures.push(format!("{name}: missing from fresh sample")),
+        }
+    }
+    failures
+}
+
+/// Proves the comparator catches a synthetic >threshold regression and
+/// accepts values inside the envelope, without running any benchmark.
+fn bench_check_selftest(threshold_pct: f64) {
+    let base: BTreeMap<String, f64> = GATED_METRICS
+        .iter()
+        .map(|&m| (m.to_string(), 100_000.0))
+        .collect();
+
+    let inside: BTreeMap<String, f64> = base
+        .iter()
+        .map(|(k, v)| (k.clone(), v * (1.0 + threshold_pct / 100.0) * 0.99))
+        .collect();
+    assert!(
+        compare(&base, &inside, threshold_pct).is_empty(),
+        "selftest: a sample inside the envelope must pass"
+    );
+
+    let regressed: BTreeMap<String, f64> = base
+        .iter()
+        .map(|(k, v)| (k.clone(), v * (1.0 + threshold_pct / 100.0) * 1.01))
+        .collect();
+    let failures = compare(&base, &regressed, threshold_pct);
+    assert_eq!(
+        failures.len(),
+        GATED_METRICS.len(),
+        "selftest: every synthetic regression must be flagged, got {failures:?}"
+    );
+
+    let mut partial = base.clone();
+    partial.remove(GATED_METRICS[0]);
+    assert!(
+        !compare(&partial, &base, threshold_pct).is_empty(),
+        "selftest: a metric missing from the baseline must fail"
+    );
+    assert!(
+        !compare(&base, &partial, threshold_pct).is_empty(),
+        "selftest: a metric missing from the fresh sample must fail"
+    );
+    println!("bench-check selftest passed (threshold {threshold_pct}%)");
+}
+
+/// The documented baseline override: reruns the full bench so
+/// `BENCH_features.json` is rewritten from this machine's numbers.
+fn bench_baseline() {
+    run(
+        "feature bench (full, rewrites BENCH_features.json)",
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "echo-bench",
+            "--bin",
+            "feature_bench",
+        ],
+        &[],
+    );
+    println!("baseline rewritten — review and commit BENCH_features.json");
+}
+
+fn required_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    it.next().cloned().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        exit(2);
+    })
 }
 
 fn run(name: &str, args: &[&str], envs: &[(&str, &str)]) {

@@ -42,6 +42,13 @@ fn main() {
             p.impostor_scores
         );
     }
+    println!(
+        "\naudit pass: {} attempts, {} rejected — {} with reject reason, {} with injected mask",
+        out.audit.attempts,
+        out.audit.rejected,
+        out.audit.rejected_with_reason,
+        out.audit.rejected_with_injected_mask
+    );
     match report::write_artefact("fault_sweep", &out) {
         Ok(p) => artefact_note(&p),
         Err(e) => eprintln!("could not write artefact: {e}"),

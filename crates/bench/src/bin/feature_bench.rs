@@ -265,8 +265,9 @@ fn main() {
             rate * 100.0
         );
         cache_json.push(format!(
-            "    {{\"name\": \"{cache}\", \"hits\": {hits}, \"misses\": {misses}, \
-             \"hit_rate\": {rate:.4}}}"
+            "    {{\"name\": \"{}\", \"hits\": {hits}, \"misses\": {misses}, \
+             \"hit_rate\": {rate:.4}}}",
+            echo_obs::escape_json(cache)
         ));
     }
     let stage_json: Vec<String> = stages
@@ -275,7 +276,7 @@ fn main() {
             format!(
                 "    {{\"name\": \"{}\", \"count\": {}, \"mean_ns\": {:.0}, \
                  \"min_ns\": {}, \"max_ns\": {}}}",
-                h.name,
+                echo_obs::escape_json(&h.name),
                 h.count,
                 h.mean_ns().unwrap_or(0.0),
                 h.min_ns.unwrap_or(0),

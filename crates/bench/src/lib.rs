@@ -30,21 +30,62 @@ pub fn metrics_out() -> Option<PathBuf> {
     flag_value("--metrics-out").map(PathBuf::from)
 }
 
+/// Parses the common `--trace-out <path>` flag: where to write the
+/// JSONL trace (spans + audit records) when the run completes. The
+/// flag's presence is also what switches span recording on.
+pub fn trace_out() -> Option<PathBuf> {
+    flag_value("--trace-out").map(PathBuf::from)
+}
+
 /// Writes the process-wide metrics snapshot to `--metrics-out` (no-op
-/// when the flag is absent). Every experiment binary calls this last,
-/// so per-stage latency and cache hit-rate numbers for the whole run
-/// land next to the experiment artefact.
+/// when the flag is absent), then the trace JSONL to `--trace-out`
+/// (likewise). Every experiment binary calls this last, so per-stage
+/// latency, cache hit-rate numbers and the flight-recorder trace for
+/// the whole run land next to the experiment artefact.
 pub fn finish_metrics() {
-    let Some(path) = metrics_out() else { return };
-    let json = echo_obs::snapshot().to_json();
-    match std::fs::write(&path, json) {
-        Ok(()) => println!("metrics: {}", path.display()),
-        Err(e) => eprintln!("could not write metrics to {}: {e}", path.display()),
+    if let Some(path) = metrics_out() {
+        let json = echo_obs::snapshot().to_json();
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("metrics: {}", path.display()),
+            Err(e) => eprintln!("could not write metrics to {}: {e}", path.display()),
+        }
+    }
+    finish_traces();
+}
+
+/// Drains the trace ring and audit log into `--trace-out` as JSONL.
+/// No-op without the flag. Convert to Perfetto-loadable Chrome trace
+/// JSON with `cargo xtask trace-report <file> --chrome <out>`.
+pub fn finish_traces() {
+    let Some(path) = trace_out() else { return };
+    let spans = echo_obs::take_spans();
+    let audits = echo_obs::take_audits();
+    let dropped = echo_obs::trace_events_dropped();
+    if dropped > 0 {
+        eprintln!("trace: ring overflowed, {dropped} span events dropped");
+    }
+    match std::fs::write(&path, echo_obs::export::trace_jsonl(&spans, &audits)) {
+        Ok(()) => println!(
+            "trace: {} ({} spans, {} audits)",
+            path.display(),
+            spans.len(),
+            audits.len()
+        ),
+        Err(e) => eprintln!("could not write trace to {}: {e}", path.display()),
     }
 }
 
-/// Prints a standard experiment header.
+/// Prints a standard experiment header, and arms the flight recorder
+/// when the run asked for a trace: `--trace-out <path>` switches span
+/// recording on, `--trace-sample <n>` keeps one trace in `n`
+/// (deterministic on the trace serial; default keeps every trace).
 pub fn banner(id: &str, title: &str, paper_claim: &str) {
+    if trace_out().is_some() {
+        echo_obs::set_trace_enabled(true);
+        if let Some(n) = flag_value("--trace-sample").and_then(|v| v.parse::<u64>().ok()) {
+            echo_obs::set_trace_sampling(n);
+        }
+    }
     println!("════════════════════════════════════════════════════════════════");
     println!("EchoImage reproduction — {id}: {title}");
     println!("paper: {paper_claim}");

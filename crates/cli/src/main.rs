@@ -13,7 +13,11 @@ mod commands;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics_out = take_metrics_out(&mut args);
+    let metrics_out = take_flag_value(&mut args, "--metrics-out");
+    let trace_out = take_flag_value(&mut args, "--trace-out");
+    if trace_out.is_some() {
+        echo_obs::set_trace_enabled(true);
+    }
     let Some((command, rest)) = args.split_first() else {
         print_usage();
         return ExitCode::FAILURE;
@@ -34,6 +38,9 @@ fn main() -> ExitCode {
             if let Some(path) = metrics_out {
                 write_metrics(&path);
             }
+            if let Some(path) = trace_out {
+                write_trace(&path);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -44,12 +51,12 @@ fn main() -> ExitCode {
     }
 }
 
-/// Strips the global `--metrics-out <path>` flag (valid in any position
-/// and for every command) before dispatch, returning its value.
-fn take_metrics_out(args: &mut Vec<String>) -> Option<String> {
-    let pos = args.iter().position(|a| a == "--metrics-out")?;
+/// Strips a global `--flag <value>` pair (valid in any position and for
+/// every command) before dispatch, returning the value.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
     if pos + 1 >= args.len() {
-        eprintln!("warning: --metrics-out needs a path; ignoring");
+        eprintln!("warning: {flag} needs a path; ignoring");
         args.remove(pos);
         return None;
     }
@@ -63,6 +70,20 @@ fn write_metrics(path: &str) {
     match std::fs::write(path, echo_obs::snapshot().to_json()) {
         Ok(()) => println!("metrics: {path}"),
         Err(e) => eprintln!("could not write metrics to {path}: {e}"),
+    }
+}
+
+/// Writes the flight-recorder trace (spans + audit records) as JSONL.
+fn write_trace(path: &str) {
+    let spans = echo_obs::take_spans();
+    let audits = echo_obs::take_audits();
+    match std::fs::write(path, echo_obs::export::trace_jsonl(&spans, &audits)) {
+        Ok(()) => println!(
+            "trace: {path} ({} spans, {} audits)",
+            spans.len(),
+            audits.len()
+        ),
+        Err(e) => eprintln!("could not write trace to {path}: {e}"),
     }
 }
 
@@ -94,6 +115,11 @@ COMMANDS:
 GLOBAL OPTIONS:
     --metrics-out <path>   write a JSON observability snapshot (stage
                            latencies, cache hit rates, pipeline counters)
-                           after the command succeeds"
+                           after the command succeeds
+    --trace-out <path>     record a flight-recorder trace (hierarchical
+                           stage spans + authentication audit records)
+                           and write it as JSONL after the command
+                           succeeds; convert for Perfetto with
+                           `cargo xtask trace-report <path> --chrome out.json`"
     );
 }

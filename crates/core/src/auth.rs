@@ -18,7 +18,9 @@
 use crate::error::EchoImageError;
 use crate::pipeline::EchoImagePipeline;
 use echo_ml::{Kernel, OneClassSvm, StandardScaler, SvmMulticlass};
+use echo_obs::{AuthAudit, AuthVerdict, TraceCtx};
 use echo_sim::BeepCapture;
+use std::time::Instant;
 
 /// How the spoofer gate is trained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -84,6 +86,17 @@ impl AuthDecision {
             AuthDecision::Rejected => None,
         }
     }
+}
+
+/// Context an authentication attempt carries into the audit log:
+/// who the caller claims to be (experiment harnesses know ground
+/// truth; a real device may not) and which retry this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AuthAttempt {
+    /// The claimed subject, recorded verbatim in the audit.
+    pub claimed_user: Option<u64>,
+    /// Retry index of this attempt (0 = first try).
+    pub retry_index: u64,
 }
 
 /// A trained EchoImage authenticator.
@@ -338,17 +351,31 @@ impl Authenticator {
     /// Panics if `features` has the wrong dimensionality; use
     /// [`Authenticator::authenticate_checked`] to get an error instead.
     pub fn authenticate(&self, features: &[f64]) -> AuthDecision {
+        self.authenticate_scored(features).0
+    }
+
+    /// [`Authenticator::authenticate`] also returning the best gate
+    /// margin (`decision_value − threshold`, maximised over gates) —
+    /// the score the audit log records. Computes each gate decision
+    /// exactly once, so the returned decision is bit-identical to
+    /// [`Authenticator::authenticate`]'s.
+    fn authenticate_scored(&self, features: &[f64]) -> (AuthDecision, f64) {
         let x = self.scaler.transform(features);
-        let fired: Vec<usize> = self
-            .gates
-            .iter()
-            .filter(|(g, threshold, _)| g.decision(&x) >= *threshold)
-            .map(|(_, _, owner)| *owner)
-            .collect();
-        if fired.is_empty() {
-            return AuthDecision::Rejected;
+        let mut best_margin = f64::NEG_INFINITY;
+        let mut fired: Vec<usize> = Vec::new();
+        for (g, threshold, owner) in &self.gates {
+            // IEEE subtraction yields 0 iff the operands are equal, so
+            // `margin >= 0` decides exactly like `decision >= threshold`.
+            let margin = g.decision(&x) - *threshold;
+            best_margin = best_margin.max(margin);
+            if margin >= 0.0 {
+                fired.push(*owner);
+            }
         }
-        match (&self.classifier, self.single_user) {
+        if fired.is_empty() {
+            return (AuthDecision::Rejected, best_margin);
+        }
+        let decision = match (&self.classifier, self.single_user) {
             (Some(svm), _) => {
                 let user_id = svm.predict(&x);
                 // Consistency check: the n-class SVM's attribution must
@@ -364,7 +391,8 @@ impl Authenticator {
             }
             (None, Some(id)) => AuthDecision::Accepted { user_id: id },
             (None, None) => unreachable!("enroll guarantees one of the two"),
-        }
+        };
+        (decision, best_margin)
     }
 
     /// The best (maximum) spoofer-gate decision value across gates
@@ -411,12 +439,129 @@ impl Authenticator {
         pipeline: &EchoImagePipeline,
         captures: &[BeepCapture],
     ) -> Result<AuthDecision, EchoImageError> {
-        let _span = echo_obs::span!("stage.auth");
+        let root = echo_obs::root_span("auth.train");
+        let ctx = root.ctx();
+        self.authenticate_train_traced(ctx, pipeline, captures, AuthAttempt::default())
+    }
+
+    /// [`Authenticator::authenticate_train`] with the claimed subject
+    /// recorded in the audit log — the variant experiment harnesses use,
+    /// since they know ground truth.
+    ///
+    /// # Errors
+    ///
+    /// See [`Authenticator::authenticate_train`].
+    pub fn authenticate_train_claimed(
+        &self,
+        pipeline: &EchoImagePipeline,
+        captures: &[BeepCapture],
+        claimed_user: u64,
+    ) -> Result<AuthDecision, EchoImageError> {
+        let root = echo_obs::root_span("auth.train");
+        let ctx = root.ctx();
+        self.authenticate_train_traced(
+            ctx,
+            pipeline,
+            captures,
+            AuthAttempt {
+                claimed_user: Some(claimed_user),
+                retry_index: 0,
+            },
+        )
+    }
+
+    /// [`Authenticator::authenticate_train`] under an existing trace
+    /// context: records a `stage.auth` span (child `lidx` = the retry
+    /// index) and one [`AuthAudit`] for the decision. Latency lands in
+    /// the `stage.auth` histogram, and additionally in
+    /// `stage.auth_degraded` when the train went through the degraded
+    /// route (channels excised *or* the capture rejected as degraded),
+    /// so degraded-path latency has the same coverage as the happy path.
+    ///
+    /// # Errors
+    ///
+    /// See [`Authenticator::authenticate_train`]. Every error still
+    /// records an audit with a non-empty reject reason.
+    pub fn authenticate_train_traced(
+        &self,
+        ctx: TraceCtx,
+        pipeline: &EchoImagePipeline,
+        captures: &[BeepCapture],
+        attempt: AuthAttempt,
+    ) -> Result<AuthDecision, EchoImageError> {
+        let mut tspan = ctx.child_at("stage.auth", attempt.retry_index);
+        let started = echo_obs::is_enabled().then(Instant::now);
         echo_obs::counter!("auth.train_attempts").inc();
-        let (features, _health) = pipeline.features_from_train_degraded(captures)?;
+        let (outcome, degraded) =
+            self.authenticate_train_inner(tspan.ctx(), pipeline, captures, &attempt);
+        if let Some(t0) = started {
+            let ns = t0.elapsed().as_nanos() as u64;
+            echo_obs::histogram!("stage.auth").observe_ns(ns);
+            if degraded {
+                echo_obs::histogram!("stage.auth_degraded").observe_ns(ns);
+            }
+        }
+        tspan.attr_bool("accepted", matches!(&outcome, Ok(d) if d.is_accepted()));
+        tspan.attr_bool("degraded", degraded);
+        outcome
+    }
+
+    /// The body of a traced train authentication: pipeline, per-beep
+    /// scoring, majority vote, audit record. Returns the outcome plus
+    /// whether the degraded route was involved (for the
+    /// `stage.auth_degraded` histogram).
+    fn authenticate_train_inner(
+        &self,
+        ctx: TraceCtx,
+        pipeline: &EchoImagePipeline,
+        captures: &[BeepCapture],
+        attempt: &AuthAttempt,
+    ) -> (Result<AuthDecision, EchoImageError>, bool) {
+        let channels = captures.first().map_or(0, |c| c.num_channels()) as u64;
+        let beeps = captures.len() as u64;
+        let reject_audit = |reason: String, mask: u64| AuthAudit {
+            trace: ctx.trace_id(),
+            seq: 0,
+            claimed_user: attempt.claimed_user,
+            beeps,
+            votes: Vec::new(),
+            votes_needed: beeps / 2 + 1,
+            best_gate_margin: None,
+            channels,
+            degraded_mask: mask,
+            retry_index: attempt.retry_index,
+            verdict: AuthVerdict::Rejected,
+            reject_reason: reason,
+        };
+        let (features, health) = match pipeline.features_from_train_degraded_traced(ctx, captures) {
+            Ok(v) => v,
+            Err(e) => {
+                let (mask, was_degraded) = match &e {
+                    EchoImageError::DegradedCapture { mask, .. } => (*mask, true),
+                    _ => (0, false),
+                };
+                echo_obs::record_audit(reject_audit(
+                    format!("capture rejected before classification: {e}"),
+                    mask,
+                ));
+                return (Err(e), was_degraded);
+            }
+        };
+        let degraded = !health.all_healthy();
+        let mask = health.excised_mask();
         let mut counts: Vec<(usize, usize)> = Vec::new();
+        let mut best_margin = f64::NEG_INFINITY;
         for f in &features {
-            if let AuthDecision::Accepted { user_id } = self.authenticate_checked(f)? {
+            if f.len() != self.scaler.dim() {
+                let e = EchoImageError::InvalidParameter(
+                    "feature vector does not match the enrolled dimensionality",
+                );
+                echo_obs::record_audit(reject_audit(format!("pipeline error: {e}"), mask));
+                return (Err(e), degraded);
+            }
+            let (decision, margin) = self.authenticate_scored(f);
+            best_margin = best_margin.max(margin);
+            if let AuthDecision::Accepted { user_id } = decision {
                 match counts.iter_mut().find(|(id, _)| *id == user_id) {
                     Some((_, n)) => *n += 1,
                     None => counts.push((user_id, 1)),
@@ -434,7 +579,44 @@ impl Authenticator {
         } else {
             echo_obs::counter!("auth.rejected").inc();
         }
-        Ok(decision)
+        let mut votes: Vec<(u64, u64)> = counts
+            .iter()
+            .map(|&(id, n)| (id as u64, n as u64))
+            .collect();
+        votes.sort_by_key(|&(id, _)| id);
+        let (verdict, reason) = match decision {
+            AuthDecision::Accepted { user_id } => (
+                AuthVerdict::Accepted {
+                    user_id: user_id as u64,
+                },
+                String::new(),
+            ),
+            AuthDecision::Rejected => {
+                let reason = match counts.iter().max_by_key(|(_, n)| *n) {
+                    None => "spoofer gate rejected every beep".to_string(),
+                    Some((id, n)) => format!(
+                        "no strict majority: best candidate user {id} with {n}/{} accepting beeps",
+                        features.len()
+                    ),
+                };
+                (AuthVerdict::Rejected, reason)
+            }
+        };
+        echo_obs::record_audit(AuthAudit {
+            trace: ctx.trace_id(),
+            seq: 0,
+            claimed_user: attempt.claimed_user,
+            beeps,
+            votes,
+            votes_needed: features.len() as u64 / 2 + 1,
+            best_gate_margin: (!features.is_empty()).then_some(best_margin),
+            channels,
+            degraded_mask: mask,
+            retry_index: attempt.retry_index,
+            verdict,
+            reject_reason: reason,
+        });
+        (Ok(decision), degraded)
     }
 
     /// [`Authenticator::authenticate_train`] with retry-on-degraded
@@ -458,17 +640,30 @@ impl Authenticator {
     where
         F: FnMut(usize) -> Vec<BeepCapture>,
     {
+        let root = echo_obs::root_span("auth.attempt");
+        let ctx = root.ctx();
         let attempts = policy.max_attempts.max(1);
         let mut last = EchoImageError::DegradedCapture {
             healthy: 0,
             required: 0,
+            mask: 0,
         };
         for attempt in 0..attempts {
-            if attempt > 0 {
+            let _retry_span = (attempt > 0).then(|| {
                 echo_obs::counter!("auth.retries").inc();
-            }
+                echo_obs::span!("stage.auth_retry")
+            });
             let captures = provider(attempt);
-            match self.authenticate_train(pipeline, &captures) {
+            let outcome = self.authenticate_train_traced(
+                ctx,
+                pipeline,
+                &captures,
+                AuthAttempt {
+                    claimed_user: None,
+                    retry_index: attempt as u64,
+                },
+            );
+            match outcome {
                 Err(e @ EchoImageError::DegradedCapture { .. }) => last = e,
                 other => return other,
             }

@@ -17,7 +17,7 @@
 
 use crate::config::{DistanceConfig, PipelineConfig};
 use crate::error::EchoImageError;
-use crate::template_cache::chirp_template_plan;
+use crate::template_cache::chirp_template_plan_classified;
 use echo_array::{Direction, MicArray};
 use echo_beamform::{apply_weights, mvdr_weights, SpatialCovariance};
 use echo_dsp::correlate::CorrelationScratch;
@@ -25,6 +25,7 @@ use echo_dsp::hilbert::{analytic_signal, analytic_signal_with, moving_average};
 use echo_dsp::peaks::{find_peaks, strongest_peak_in, Peak};
 use echo_dsp::FftScratch;
 use echo_dsp::{Complex, SPEED_OF_SOUND};
+use echo_obs::TraceCtx;
 use echo_sim::BeepCapture;
 
 /// The result of distance estimation.
@@ -65,6 +66,19 @@ pub fn estimate_distance(
     array: &MicArray,
     config: &PipelineConfig,
 ) -> Result<DistanceEstimate, EchoImageError> {
+    estimate_distance_traced(captures, array, config, TraceCtx::none())
+}
+
+/// [`estimate_distance`] recording a `stage.distance` trace span under
+/// `ctx` (template-cache hit flag, estimated horizontal distance). The
+/// estimator runs on the serial coordinating path, so the cache-hit
+/// attribute is deterministic for a fixed workload and cache state.
+pub fn estimate_distance_traced(
+    captures: &[BeepCapture],
+    array: &MicArray,
+    config: &PipelineConfig,
+    ctx: TraceCtx,
+) -> Result<DistanceEstimate, EchoImageError> {
     let first = captures.first().ok_or(EchoImageError::NoCaptures)?;
     let fs = first.sample_rate();
     let n = first.len();
@@ -84,6 +98,8 @@ pub fn estimate_distance(
         return Err(EchoImageError::InvalidParameter("captures hold no samples"));
     }
     let _span = echo_obs::span!("stage.distance");
+    let mut tspan = ctx.child("stage.distance");
+    tspan.attr_u64("beeps", captures.len() as u64);
     echo_obs::counter!("distance.estimates").inc();
 
     let dcfg = &config.distance;
@@ -93,7 +109,8 @@ pub fn estimate_distance(
 
     // Matched-filter plan for the analytic chirp template, shared
     // process-wide (output bit-identical to the per-call template path).
-    let chirp_plan = chirp_template_plan(&config.beep);
+    let (chirp_plan, template_hit) = chirp_template_plan_classified(&config.beep);
+    tspan.attr_bool("template_cache_hit", template_hit);
 
     // One noise covariance for the whole train: pooling every beep's
     // preroll gives a far stabler estimate than any single 10 ms window,
@@ -122,7 +139,11 @@ pub fn estimate_distance(
         *v /= l;
     }
 
-    locate_peaks(&accumulated, fs, first.preroll(), dcfg, config)
+    let estimate = locate_peaks(&accumulated, fs, first.preroll(), dcfg, config);
+    if let Ok(est) = &estimate {
+        tspan.attr_f64("horizontal_m", est.horizontal_distance);
+    }
+    estimate
 }
 
 /// Produces the MVDR noise covariance according to the configured

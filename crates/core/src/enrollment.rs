@@ -18,6 +18,7 @@ use crate::augment::augment_sweep;
 use crate::error::EchoImageError;
 use crate::health::ChannelHealth;
 use crate::pipeline::EchoImagePipeline;
+use echo_obs::TraceCtx;
 use echo_sim::BeepCapture;
 
 /// Tunables of the enrolment recipe.
@@ -77,6 +78,21 @@ pub fn enrollment_features(
     visits: &[Vec<BeepCapture>],
     config: &EnrollmentConfig,
 ) -> Result<Vec<Vec<f64>>, EchoImageError> {
+    let root = echo_obs::root_span("enroll.user");
+    let ctx = root.ctx();
+    enrollment_features_traced(ctx, pipeline, visits, config)
+}
+
+/// [`enrollment_features`] recording its stage spans as children of
+/// `ctx` instead of minting a fresh trace — used when many users enrol
+/// in parallel under one batch trace. Each visit gets an
+/// `enroll.visit` span indexed by visit number.
+pub fn enrollment_features_traced(
+    ctx: TraceCtx,
+    pipeline: &EchoImagePipeline,
+    visits: &[Vec<BeepCapture>],
+    config: &EnrollmentConfig,
+) -> Result<Vec<Vec<f64>>, EchoImageError> {
     if visits.is_empty() || visits.iter().any(|v| v.is_empty()) {
         return Err(EchoImageError::NoCaptures);
     }
@@ -87,8 +103,14 @@ pub fn enrollment_features(
     // count. The gather order — per visit, per image: base then its
     // augmented copies — matches the feature order of the serial recipe.
     let mut gathered = Vec::new();
-    for visit in visits {
-        let (images, est) = pipeline.images_from_train_multi_plane(visit, &config.plane_offsets)?;
+    for (v, visit) in visits.iter().enumerate() {
+        let mut vspan = ctx.child_at("enroll.visit", v as u64);
+        vspan.attr_u64("beeps", visit.len() as u64);
+        let (images, est) = pipeline.images_from_train_multi_plane_traced(
+            vspan.ctx(),
+            visit,
+            &config.plane_offsets,
+        )?;
         for img in images {
             let synth = if config.augment_offsets.is_empty() {
                 Vec::new()
@@ -104,7 +126,7 @@ pub fn enrollment_features(
             gathered.extend(synth);
         }
     }
-    Ok(pipeline.features_batch(&gathered))
+    Ok(pipeline.features_batch_traced(ctx, &gathered))
 }
 
 /// [`enrollment_features`] with channel-health screening: microphones
@@ -127,13 +149,33 @@ pub fn enrollment_features_degraded(
     visits: &[Vec<BeepCapture>],
     config: &EnrollmentConfig,
 ) -> Result<(Vec<Vec<f64>>, ChannelHealth), EchoImageError> {
+    let root = echo_obs::root_span("enroll.user");
+    let ctx = root.ctx();
+    enrollment_features_degraded_traced(ctx, pipeline, visits, config)
+}
+
+/// [`enrollment_features_degraded`] under an existing trace context.
+pub fn enrollment_features_degraded_traced(
+    ctx: TraceCtx,
+    pipeline: &EchoImagePipeline,
+    visits: &[Vec<BeepCapture>],
+    config: &EnrollmentConfig,
+) -> Result<(Vec<Vec<f64>>, ChannelHealth), EchoImageError> {
     if visits.is_empty() || visits.iter().any(|v| v.is_empty()) {
         return Err(EchoImageError::NoCaptures);
     }
     let all: Vec<BeepCapture> = visits.iter().flatten().cloned().collect();
+    let mut sspan = ctx.child("stage.health_screen");
     let health = pipeline.screen_train(&all)?;
+    sspan.attr_u64("channels", health.num_channels() as u64);
+    sspan.attr_u64("healthy", health.num_healthy() as u64);
+    sspan.attr_u64("excised_mask", health.excised_mask());
+    drop(sspan);
     if health.all_healthy() {
-        return Ok((enrollment_features(pipeline, visits, config)?, health));
+        return Ok((
+            enrollment_features_traced(ctx, pipeline, visits, config)?,
+            health,
+        ));
     }
     let healthy = health.healthy_indices();
     let required = pipeline.config().health.min_mics.max(2);
@@ -141,6 +183,7 @@ pub fn enrollment_features_degraded(
         return Err(EchoImageError::DegradedCapture {
             healthy: healthy.len(),
             required,
+            mask: health.excised_mask(),
         });
     }
     let sub_pipeline =
@@ -150,7 +193,7 @@ pub fn enrollment_features_degraded(
         .map(|v| v.iter().map(|c| c.select_channels(&healthy)).collect())
         .collect();
     Ok((
-        enrollment_features(&sub_pipeline, &sub_visits, config)?,
+        enrollment_features_traced(ctx, &sub_pipeline, &sub_visits, config)?,
         health,
     ))
 }

@@ -27,6 +27,10 @@ pub enum EchoImageError {
         healthy: usize,
         /// Minimum the pipeline requires.
         required: usize,
+        /// Bitmask of excised channels (bit `i` = mic `i` flagged by
+        /// the health screen; channels ≥ 64 saturate into bit 63), so
+        /// the audit log can attribute the rejection to specific mics.
+        mask: u64,
     },
 }
 
@@ -53,11 +57,15 @@ impl fmt::Display for EchoImageError {
             EchoImageError::InvalidParameter(what) => {
                 write!(f, "invalid parameter: {what}")
             }
-            EchoImageError::DegradedCapture { healthy, required } => {
+            EchoImageError::DegradedCapture {
+                healthy,
+                required,
+                mask,
+            } => {
                 write!(
                     f,
                     "capture too degraded: {healthy} healthy microphones, \
-                     {required} required"
+                     {required} required (excised mask {mask:#b})"
                 )
             }
         }

@@ -137,6 +137,21 @@ impl ChannelHealth {
         self.flaws.iter().all(|f| f.is_empty())
     }
 
+    /// Bitmask of the excised (unhealthy) channels: bit `i` set means
+    /// mic `i` was flagged. Channels beyond 63 saturate into bit 63 so
+    /// the mask stays a lossless rejection witness for every realistic
+    /// array size. This is the mask carried by
+    /// [`crate::EchoImageError::DegradedCapture`] and the audit log.
+    pub fn excised_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for (m, flaws) in self.flaws.iter().enumerate() {
+            if !flaws.is_empty() {
+                mask |= 1u64 << m.min(63);
+            }
+        }
+        mask
+    }
+
     /// Unions another screen's flaws into this one (same channel count
     /// required) — a channel faulted in *any* beep of a train is
     /// excluded for the whole train, since the fault is hardware state,

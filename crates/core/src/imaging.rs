@@ -17,6 +17,7 @@ use echo_beamform::{das_weights, MvdrDesigner, SpatialCovariance};
 use echo_dsp::hilbert::analytic_signal;
 use echo_dsp::{Complex, SPEED_OF_SOUND};
 use echo_ml::GrayImage;
+use echo_obs::TraceCtx;
 use echo_sim::BeepCapture;
 
 /// Constructs the acoustic image `AI_l` from one band-passed beep capture.
@@ -70,6 +71,39 @@ pub fn construct_image_with_covariance(
     cov: &SpatialCovariance,
     config: &PipelineConfig,
 ) -> Result<GrayImage, EchoImageError> {
+    construct_image_with_covariance_traced(
+        capture,
+        array,
+        horizontal_distance,
+        cov,
+        config,
+        TraceCtx::none(),
+        0,
+    )
+}
+
+/// [`construct_image_with_covariance`] recording a `stage.imaging`
+/// trace span as child `lidx` of `ctx` (grid size and channel count as
+/// attributes; `lidx` is the beep index within its train).
+///
+/// Deliberately *no* steering-cache hit/miss attribute: beeps of a
+/// train image in parallel and coalesce on one shared cache slot, so
+/// *which* beep classifies as the miss is scheduler-dependent even
+/// though the aggregate counters are not. Attributing it per-span would
+/// break the thread-count determinism contract (see DESIGN.md §9).
+///
+/// # Errors
+///
+/// See [`construct_image`].
+pub fn construct_image_with_covariance_traced(
+    capture: &BeepCapture,
+    array: &MicArray,
+    horizontal_distance: f64,
+    cov: &SpatialCovariance,
+    config: &PipelineConfig,
+    ctx: TraceCtx,
+    lidx: u64,
+) -> Result<GrayImage, EchoImageError> {
     if !(horizontal_distance.is_finite() && horizontal_distance > 0.0) {
         return Err(EchoImageError::InvalidParameter(
             "horizontal distance must be positive",
@@ -86,6 +120,9 @@ pub fn construct_image_with_covariance(
         return Err(EchoImageError::InvalidParameter("capture holds no samples"));
     }
     let _span = echo_obs::span!("stage.imaging");
+    let mut tspan = ctx.child_at("stage.imaging", lidx);
+    tspan.attr_u64("grid_n", config.imaging.grid_n as u64);
+    tspan.attr_u64("channels", array.len() as u64);
     echo_obs::counter!("pipeline.images_constructed").inc();
 
     let icfg = &config.imaging;

@@ -6,7 +6,7 @@
 //! that run a whole beep train through to feature vectors.
 
 pub use crate::config::PipelineConfig;
-use crate::distance::{estimate_distance, DistanceEstimate};
+use crate::distance::{estimate_distance, estimate_distance_traced, DistanceEstimate};
 use crate::error::EchoImageError;
 use crate::features::ImageFeatures;
 use crate::health::ChannelHealth;
@@ -15,6 +15,7 @@ use crate::par::parallel_map_indexed;
 use echo_array::MicArray;
 use echo_dsp::filter::SosFilter;
 use echo_ml::GrayImage;
+use echo_obs::TraceCtx;
 use echo_sim::BeepCapture;
 
 /// The assembled EchoImage processing pipeline.
@@ -131,11 +132,29 @@ impl EchoImagePipeline {
         &self,
         captures: &[BeepCapture],
     ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
+        let root = echo_obs::root_span("pipeline.images_from_train");
+        let ctx = root.ctx();
+        self.images_from_train_traced(ctx, captures)
+    }
+
+    /// [`EchoImagePipeline::images_from_train`] recording its stage
+    /// spans as children of `ctx` instead of minting a fresh trace —
+    /// the variant callers inside a traced attempt (auth, eval batches)
+    /// use. Per-beep preprocess and imaging spans carry the beep index
+    /// as their logical index.
+    pub fn images_from_train_traced(
+        &self,
+        ctx: TraceCtx,
+        captures: &[BeepCapture],
+    ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
         echo_obs::counter!("pipeline.trains").inc();
         echo_obs::counter!("pipeline.beeps_imaged").add(captures.len() as u64);
         let filtered: Vec<BeepCapture> =
-            parallel_map_indexed(captures, self.config.threads, |_, c| self.preprocess(c));
-        let estimate = estimate_distance(&filtered, &self.array, &self.config)?;
+            parallel_map_indexed(captures, self.config.threads, |i, c| {
+                let _t = ctx.child_at("stage.preprocess", i as u64);
+                self.preprocess(c)
+            });
+        let estimate = estimate_distance_traced(&filtered, &self.array, &self.config, ctx)?;
         // One covariance for the whole train keeps the MVDR weights
         // identical across beeps, so image variation reflects the user,
         // not the covariance estimator.
@@ -143,13 +162,15 @@ impl EchoImagePipeline {
         // Fan out over beeps, which each image serially — one layer of
         // parallelism, not threads² workers.
         let inner = self.config.clone().with_threads(1);
-        let images = parallel_map_indexed(&filtered, self.config.threads, |_, c| {
-            crate::imaging::construct_image_with_covariance(
+        let images = parallel_map_indexed(&filtered, self.config.threads, |i, c| {
+            crate::imaging::construct_image_with_covariance_traced(
                 c,
                 &self.array,
                 estimate.horizontal_distance,
                 &cov,
                 &inner,
+                ctx,
+                i as u64,
             )
         })
         .into_iter()
@@ -174,11 +195,28 @@ impl EchoImagePipeline {
         captures: &[BeepCapture],
         plane_offsets: &[f64],
     ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
+        let root = echo_obs::root_span("pipeline.images_multi_plane");
+        let ctx = root.ctx();
+        self.images_from_train_multi_plane_traced(ctx, captures, plane_offsets)
+    }
+
+    /// [`EchoImagePipeline::images_from_train_multi_plane`] under an
+    /// existing trace context. Imaging spans use the flattened
+    /// capture×plane job index as their logical index.
+    pub fn images_from_train_multi_plane_traced(
+        &self,
+        ctx: TraceCtx,
+        captures: &[BeepCapture],
+        plane_offsets: &[f64],
+    ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
         echo_obs::counter!("pipeline.trains").inc();
         echo_obs::counter!("pipeline.beeps_imaged").add(captures.len() as u64);
         let filtered: Vec<BeepCapture> =
-            parallel_map_indexed(captures, self.config.threads, |_, c| self.preprocess(c));
-        let estimate = estimate_distance(&filtered, &self.array, &self.config)?;
+            parallel_map_indexed(captures, self.config.threads, |i, c| {
+                let _t = ctx.child_at("stage.preprocess", i as u64);
+                self.preprocess(c)
+            });
+        let estimate = estimate_distance_traced(&filtered, &self.array, &self.config, ctx)?;
         let cov = crate::distance::resolve_covariance(&filtered, &self.array, &self.config);
         let mut planes = vec![estimate.horizontal_distance];
         planes.extend(
@@ -193,13 +231,15 @@ impl EchoImagePipeline {
             .flat_map(|ci| planes.iter().map(move |&d| (ci, d)))
             .collect();
         let inner = self.config.clone().with_threads(1);
-        let images = parallel_map_indexed(&jobs, self.config.threads, |_, &(ci, d)| {
-            crate::imaging::construct_image_with_covariance(
+        let images = parallel_map_indexed(&jobs, self.config.threads, |i, &(ci, d)| {
+            crate::imaging::construct_image_with_covariance_traced(
                 &filtered[ci],
                 &self.array,
                 d,
                 &cov,
                 &inner,
+                ctx,
+                i as u64,
             )
         })
         .into_iter()
@@ -215,7 +255,15 @@ impl EchoImagePipeline {
     /// Extracts features for a batch of images over the configured
     /// thread count (bit-identical to mapping [`EchoImagePipeline::features`]).
     pub fn features_batch(&self, images: &[GrayImage]) -> Vec<Vec<f64>> {
+        self.features_batch_traced(TraceCtx::none(), images)
+    }
+
+    /// [`EchoImagePipeline::features_batch`] recording a
+    /// `stage.features` trace span under `ctx`.
+    pub fn features_batch_traced(&self, ctx: TraceCtx, images: &[GrayImage]) -> Vec<Vec<f64>> {
         let _span = echo_obs::span!("stage.features");
+        let mut tspan = ctx.child("stage.features");
+        tspan.attr_u64("images", images.len() as u64);
         echo_obs::counter!("pipeline.features_extracted").add(images.len() as u64);
         self.features
             .extract_batch_threaded(images, self.config.threads)
@@ -231,8 +279,20 @@ impl EchoImagePipeline {
         &self,
         captures: &[BeepCapture],
     ) -> Result<Vec<Vec<f64>>, EchoImageError> {
-        let (images, _) = self.images_from_train(captures)?;
-        Ok(self.features_batch(&images))
+        let root = echo_obs::root_span("pipeline.features_from_train");
+        let ctx = root.ctx();
+        self.features_from_train_traced(ctx, captures)
+    }
+
+    /// [`EchoImagePipeline::features_from_train`] under an existing
+    /// trace context.
+    pub fn features_from_train_traced(
+        &self,
+        ctx: TraceCtx,
+        captures: &[BeepCapture],
+    ) -> Result<Vec<Vec<f64>>, EchoImageError> {
+        let (images, _) = self.images_from_train_traced(ctx, captures)?;
+        Ok(self.features_batch_traced(ctx, &images))
     }
 
     /// Screens the train for channel faults.
@@ -253,9 +313,14 @@ impl EchoImagePipeline {
     /// channel passed and the normal path applies unchanged.
     fn degraded_route(
         &self,
+        ctx: TraceCtx,
         captures: &[BeepCapture],
     ) -> Result<(DegradedRoute, ChannelHealth), EchoImageError> {
+        let mut tspan = ctx.child("stage.health_screen");
         let health = self.screen_train(captures)?;
+        tspan.attr_u64("channels", health.num_channels() as u64);
+        tspan.attr_u64("healthy", health.num_healthy() as u64);
+        tspan.attr_u64("excised_mask", health.excised_mask());
         if health.all_healthy() {
             return Ok((None, health));
         }
@@ -263,9 +328,11 @@ impl EchoImagePipeline {
         let required = self.config.health.min_mics.max(2);
         if healthy.len() < required {
             echo_obs::counter!("degraded.rejections").inc();
+            tspan.attr_bool("rejected", true);
             return Err(EchoImageError::DegradedCapture {
                 healthy: healthy.len(),
                 required,
+                mask: health.excised_mask(),
             });
         }
         echo_obs::counter!("degraded.activations").inc();
@@ -299,10 +366,24 @@ impl EchoImagePipeline {
         &self,
         captures: &[BeepCapture],
     ) -> Result<(Vec<GrayImage>, DistanceEstimate, ChannelHealth), EchoImageError> {
-        let (route, health) = self.degraded_route(captures)?;
+        let root = echo_obs::root_span("pipeline.images_from_train");
+        let ctx = root.ctx();
+        self.images_from_train_degraded_traced(ctx, captures)
+    }
+
+    /// [`EchoImagePipeline::images_from_train_degraded`] under an
+    /// existing trace context.
+    pub fn images_from_train_degraded_traced(
+        &self,
+        ctx: TraceCtx,
+        captures: &[BeepCapture],
+    ) -> Result<(Vec<GrayImage>, DistanceEstimate, ChannelHealth), EchoImageError> {
+        let (route, health) = self.degraded_route(ctx, captures)?;
         let (images, estimate) = match &route {
-            None => self.images_from_train(captures)?,
-            Some((sub_captures, sub_pipeline)) => sub_pipeline.images_from_train(sub_captures)?,
+            None => self.images_from_train_traced(ctx, captures)?,
+            Some((sub_captures, sub_pipeline)) => {
+                sub_pipeline.images_from_train_traced(ctx, sub_captures)?
+            }
         };
         Ok((images, estimate, health))
     }
@@ -320,12 +401,24 @@ impl EchoImagePipeline {
         captures: &[BeepCapture],
         plane_offsets: &[f64],
     ) -> Result<(Vec<GrayImage>, DistanceEstimate, ChannelHealth), EchoImageError> {
-        let (route, health) = self.degraded_route(captures)?;
+        let root = echo_obs::root_span("pipeline.images_multi_plane");
+        let ctx = root.ctx();
+        self.images_from_train_multi_plane_degraded_traced(ctx, captures, plane_offsets)
+    }
+
+    /// [`EchoImagePipeline::images_from_train_multi_plane_degraded`]
+    /// under an existing trace context.
+    pub fn images_from_train_multi_plane_degraded_traced(
+        &self,
+        ctx: TraceCtx,
+        captures: &[BeepCapture],
+        plane_offsets: &[f64],
+    ) -> Result<(Vec<GrayImage>, DistanceEstimate, ChannelHealth), EchoImageError> {
+        let (route, health) = self.degraded_route(ctx, captures)?;
         let (images, estimate) = match &route {
-            None => self.images_from_train_multi_plane(captures, plane_offsets)?,
-            Some((sub_captures, sub_pipeline)) => {
-                sub_pipeline.images_from_train_multi_plane(sub_captures, plane_offsets)?
-            }
+            None => self.images_from_train_multi_plane_traced(ctx, captures, plane_offsets)?,
+            Some((sub_captures, sub_pipeline)) => sub_pipeline
+                .images_from_train_multi_plane_traced(ctx, sub_captures, plane_offsets)?,
         };
         Ok((images, estimate, health))
     }
@@ -341,8 +434,20 @@ impl EchoImagePipeline {
         &self,
         captures: &[BeepCapture],
     ) -> Result<(Vec<Vec<f64>>, ChannelHealth), EchoImageError> {
-        let (images, _, health) = self.images_from_train_degraded(captures)?;
-        Ok((self.features_batch(&images), health))
+        let root = echo_obs::root_span("pipeline.features_from_train");
+        let ctx = root.ctx();
+        self.features_from_train_degraded_traced(ctx, captures)
+    }
+
+    /// [`EchoImagePipeline::features_from_train_degraded`] under an
+    /// existing trace context.
+    pub fn features_from_train_degraded_traced(
+        &self,
+        ctx: TraceCtx,
+        captures: &[BeepCapture],
+    ) -> Result<(Vec<Vec<f64>>, ChannelHealth), EchoImageError> {
+        let (images, _, health) = self.images_from_train_degraded_traced(ctx, captures)?;
+        Ok((self.features_batch_traced(ctx, &images), health))
     }
 }
 

@@ -47,29 +47,39 @@ const CAPACITY: usize = 4;
 /// template (the one the distance estimator correlates beamformed
 /// analytic signals against), computing and caching it on first use.
 pub fn chirp_template_plan(beep: &BeepConfig) -> Arc<MatchedFilterPlan> {
+    chirp_template_plan_classified(beep).0
+}
+
+/// [`chirp_template_plan`] that also reports whether the lookup hit the
+/// cache, for trace-span attribution. Template lookups happen on the
+/// serial distance-estimation path, so the returned flag is
+/// deterministic for a fixed workload and cache state (unlike the
+/// steering-field cache, whose parallel lookups coalesce racers).
+pub fn chirp_template_plan_classified(beep: &BeepConfig) -> (Arc<MatchedFilterPlan>, bool) {
     let key = template_key(beep);
-    let slot = {
+    let (slot, cache_hit) = {
         let mut cache = CACHE.lock().expect("chirp template cache poisoned");
         if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
             echo_obs::counter!("template_cache.hit").inc();
             let hit = cache.remove(pos);
             let slot = Arc::clone(&hit.1);
             cache.insert(0, hit);
-            slot
+            (slot, true)
         } else {
             echo_obs::counter!("template_cache.miss").inc();
             let slot: Slot = Arc::new(OnceLock::new());
             cache.insert(0, (key, Arc::clone(&slot)));
             cache.truncate(CAPACITY);
-            slot
+            (slot, false)
         }
     };
     // Synthesise outside the lock; same-key racers block on the slot
     // and share the one plan instead of duplicating the synthesis.
-    Arc::clone(slot.get_or_init(|| {
+    let plan = Arc::clone(slot.get_or_init(|| {
         let chirp = beep.chirp().samples();
         Arc::new(MatchedFilterPlan::new_complex(&analytic_signal(&chirp)))
-    }))
+    }));
+    (plan, cache_hit)
 }
 
 /// Number of templates currently cached (for tests and benchmarks).

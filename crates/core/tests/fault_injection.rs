@@ -134,7 +134,9 @@ fn every_fault_kind_yields_a_decision_or_a_typed_reject() {
         let faulted = plan.apply_train(&caps);
         match auth.authenticate_train(&pipeline, &faulted) {
             Ok(_) => {}
-            Err(EchoImageError::DegradedCapture { healthy, required }) => {
+            Err(EchoImageError::DegradedCapture {
+                healthy, required, ..
+            }) => {
                 assert!(healthy < required, "{kind:?}: inconsistent reject");
             }
             Err(e) => panic!("{kind:?}: unexpected error {e}"),
@@ -199,7 +201,8 @@ fn too_many_dead_mics_reject_with_counts() {
         err,
         EchoImageError::DegradedCapture {
             healthy: 2,
-            required: 3
+            required: 3,
+            mask: 0b10_1101
         }
     );
 }

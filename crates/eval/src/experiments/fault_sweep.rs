@@ -92,6 +92,26 @@ pub struct Output {
     pub baseline_auc: f64,
     /// One point per (kind, severity, faulted-mic count).
     pub points: Vec<Point>,
+    /// Audit-log summary from the dedicated audit pass.
+    pub audit: AuditSummary,
+}
+
+/// Summary of the per-decision audit records from the audit pass: one
+/// full `authenticate_train` per registered user through a dead-mic-0
+/// device, plus one probe with *every* microphone dead (a guaranteed
+/// degraded-capture rejection). The pass asserts the flight-recorder
+/// contract — every rejected attempt carries a non-empty reject reason
+/// and a degraded-channel mask covering the injected fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditSummary {
+    /// Audit records drained after the pass (one per attempt).
+    pub attempts: usize,
+    /// Attempts whose verdict was a rejection (vote or degraded error).
+    pub rejected: usize,
+    /// Rejections carrying a non-empty reject reason.
+    pub rejected_with_reason: usize,
+    /// Rejections whose degraded mask contains every injected-fault bit.
+    pub rejected_with_injected_mask: usize,
 }
 
 /// Gate scores of every probe under `plan`: `(genuine, impostor,
@@ -144,6 +164,107 @@ fn probe_scores(
         }
     }
     (genuine, impostor, rejects)
+}
+
+/// Runs the audit pass and checks the flight-recorder contract.
+///
+/// Every registered user authenticates once through a device whose
+/// microphone 0 is dead (the degraded mic-subset route), then the first
+/// user probes once with *every* microphone dead — a guaranteed
+/// [`EchoImageError::DegradedCapture`] rejection. The audit ring is
+/// drained afterwards and each rejected attempt is asserted to carry a
+/// non-empty reject reason and a degraded-channel mask that covers the
+/// bits the fault plan actually damaged.
+///
+/// # Panics
+///
+/// Panics when an audit record violates the contract — that is a bug in
+/// the recorder, not an experimental outcome.
+fn audit_pass(
+    harness: &Harness,
+    auth: &Authenticator,
+    registered: &[&UserProfile],
+    cfg: &ProtocolConfig,
+) -> AuditSummary {
+    use echo_sim::Placement;
+
+    // Discard whatever earlier phases recorded so the drain below holds
+    // exactly this pass's attempts, in order.
+    let _ = echo_obs::take_audits();
+
+    let spec = CaptureSpec {
+        session: 777,
+        beeps: cfg.test_beeps.max(1),
+        beep_offset: TEST_BEEP_OFFSET + 90_000,
+        ..CaptureSpec::default_lab(0)
+    };
+    let scene = harness.scene(&spec);
+    let capture = |profile: &UserProfile| {
+        scene.capture_train(
+            &profile.body(),
+            &Placement::standing_front(spec.distance),
+            spec.session,
+            spec.beeps,
+            spec.beep_offset,
+        )
+    };
+
+    // Per attempt: the channel mask the fault plan injected.
+    let mut injected: Vec<u64> = Vec::new();
+    let dead0 = FaultPlan::uniform(FaultKind::Dead, 1.0, &[0], 0x0AD1);
+    for profile in registered {
+        let _ = auth.authenticate_train_claimed(
+            harness.pipeline(),
+            &dead0.apply_train(&capture(profile)),
+            profile.id as u64,
+        );
+        injected.push(1);
+    }
+    if let Some(profile) = registered.first() {
+        let captures = capture(profile);
+        let channels = captures.first().map_or(0, |c| c.num_channels());
+        let all: Vec<usize> = (0..channels).collect();
+        let dead_all = FaultPlan::uniform(FaultKind::Dead, 1.0, &all, 0x0AD2);
+        let _ = auth.authenticate_train_claimed(
+            harness.pipeline(),
+            &dead_all.apply_train(&captures),
+            profile.id as u64,
+        );
+        injected.push((1u64 << channels.min(63)) - 1);
+    }
+
+    let audits = echo_obs::take_audits();
+    assert_eq!(
+        audits.len(),
+        injected.len(),
+        "one audit record per authentication attempt"
+    );
+    let mut summary = AuditSummary {
+        attempts: audits.len(),
+        rejected: 0,
+        rejected_with_reason: 0,
+        rejected_with_injected_mask: 0,
+    };
+    for (audit, &mask) in audits.iter().zip(&injected) {
+        if audit.verdict != echo_obs::AuthVerdict::Rejected {
+            continue;
+        }
+        summary.rejected += 1;
+        assert!(
+            !audit.reject_reason.is_empty(),
+            "rejected attempt (trace {}) has an empty reject reason",
+            audit.trace
+        );
+        summary.rejected_with_reason += 1;
+        assert_eq!(
+            audit.degraded_mask & mask,
+            mask,
+            "rejected attempt (trace {}) does not carry the injected channel mask",
+            audit.trace
+        );
+        summary.rejected_with_injected_mask += 1;
+    }
+    summary
 }
 
 /// `(eer, auc)` of a score split, with the documented conventions for
@@ -212,9 +333,11 @@ pub fn run(config: &Config) -> Result<Output, EchoImageError> {
             }
         }
     }
+    let audit = audit_pass(&harness, &auth, &registered, &config.protocol);
     Ok(Output {
         baseline_eer,
         baseline_auc,
         points,
+        audit,
     })
 }

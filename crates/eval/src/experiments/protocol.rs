@@ -74,7 +74,7 @@ pub fn enroll(
 ) -> Result<Authenticator, EchoImageError> {
     use echo_sim::Placement;
     use echoimage_core::enrollment::{
-        enrollment_features, enrollment_features_degraded, EnrollmentConfig,
+        enrollment_features_degraded_traced, enrollment_features_traced, EnrollmentConfig,
     };
 
     let batch = cfg.enroll_batch.max(1);
@@ -86,9 +86,13 @@ pub fn enroll(
     // worker threads. Each worker images serially (worker_pipeline pins
     // one thread), and results merge in subject order, so the enrolled
     // model is bit-identical to the serial loop.
+    let root = echo_obs::root_span("eval.enroll");
+    let ctx = root.ctx();
     echo_obs::counter!("eval.jobs").add(registered.len() as u64);
     let worker = harness.worker_pipeline();
-    let per_user = parallel_map_indexed(registered, harness.threads(), |_, profile| {
+    let per_user = parallel_map_indexed(registered, harness.threads(), |i, profile| {
+        let mut uspan = ctx.child_at("enroll.user", i as u64);
+        uspan.attr_u64("user", profile.id as u64);
         let body = profile.body();
         // Each enrolment batch is a separate *visit*: the paper's
         // Session 1 spans days 0–2, so its 200 training chirps already
@@ -106,7 +110,8 @@ pub fn enroll(
                 ..spec.clone()
             };
             let scene = harness.scene(&train_spec);
-            let captures = scene.capture_train(
+            let captures = scene.capture_train_traced(
+                uspan.ctx(),
                 &body,
                 &Placement::standing_front(train_spec.distance),
                 train_spec.session,
@@ -116,7 +121,7 @@ pub fn enroll(
             visits.push(if train_spec.faults.is_empty() {
                 captures
             } else {
-                train_spec.faults.apply_train(&captures)
+                train_spec.faults.apply_train_traced(uspan.ctx(), &captures)
             });
             remaining -= beeps;
             batch_idx += 1;
@@ -124,9 +129,9 @@ pub fn enroll(
         // A faulted device enrols through the health screen, excising
         // its bad microphones just as authentication will.
         let feats = if spec.faults.is_empty() {
-            enrollment_features(&worker, &visits, &recipe)?
+            enrollment_features_traced(uspan.ctx(), &worker, &visits, &recipe)?
         } else {
-            enrollment_features_degraded(&worker, &visits, &recipe)?.0
+            enrollment_features_degraded_traced(uspan.ctx(), &worker, &visits, &recipe)?.0
         };
         Ok((profile.id as usize, feats))
     });

@@ -7,6 +7,7 @@
 //! experiment runner shares.
 
 use echo_ml::GrayImage;
+use echo_obs::TraceCtx;
 use echo_sim::{
     BeepCapture, BodyModel, EnvironmentKind, FaultPlan, NoiseKind, Placement, Scene, SceneConfig,
     UserProfile,
@@ -168,8 +169,20 @@ impl Harness {
 
     /// Captures the spec's train with its fault plan applied.
     fn capture_train(&self, body: &BodyModel, spec: &CaptureSpec) -> Vec<BeepCapture> {
+        self.capture_train_traced(TraceCtx::none(), body, spec)
+    }
+
+    /// [`Harness::capture_train`] recording simulator spans (`sim.beep`
+    /// per beep, `sim.fault_inject` when a fault plan fires) under `ctx`.
+    fn capture_train_traced(
+        &self,
+        ctx: TraceCtx,
+        body: &BodyModel,
+        spec: &CaptureSpec,
+    ) -> Vec<BeepCapture> {
         let scene = self.scene(spec);
-        let captures = scene.capture_train(
+        let captures = scene.capture_train_traced(
+            ctx,
             body,
             &Placement::standing_front(spec.distance),
             spec.session,
@@ -179,7 +192,7 @@ impl Harness {
         if spec.faults.is_empty() {
             captures
         } else {
-            spec.faults.apply_train(&captures)
+            spec.faults.apply_train_traced(ctx, &captures)
         }
     }
 
@@ -191,11 +204,21 @@ impl Harness {
         spec: &CaptureSpec,
         captures: &[BeepCapture],
     ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
+        Self::route_images_traced(TraceCtx::none(), pipeline, spec, captures)
+    }
+
+    /// [`Harness::route_images`] under an existing trace context.
+    fn route_images_traced(
+        ctx: TraceCtx,
+        pipeline: &EchoImagePipeline,
+        spec: &CaptureSpec,
+        captures: &[BeepCapture],
+    ) -> Result<(Vec<GrayImage>, DistanceEstimate), EchoImageError> {
         if spec.faults.is_empty() {
-            pipeline.images_from_train(captures)
+            pipeline.images_from_train_traced(ctx, captures)
         } else {
             pipeline
-                .images_from_train_degraded(captures)
+                .images_from_train_degraded_traced(ctx, captures)
                 .map(|(images, est, _)| (images, est))
         }
     }
@@ -270,12 +293,17 @@ impl Harness {
         &self,
         jobs: &[(UserProfile, CaptureSpec)],
     ) -> Vec<Result<Vec<Vec<f64>>, EchoImageError>> {
+        let root = echo_obs::root_span("eval.batch");
+        let ctx = root.ctx();
         let _span = echo_obs::span!("stage.eval_batch");
         echo_obs::counter!("eval.jobs").add(jobs.len() as u64);
         let worker = self.worker_pipeline();
-        let results = parallel_map_indexed(jobs, self.threads, |_, (profile, spec)| {
-            let captures = self.capture_train(&profile.body(), spec);
-            let (images, _) = Self::route_images(&worker, spec, &captures)?;
+        let results = parallel_map_indexed(jobs, self.threads, |i, (profile, spec)| {
+            let mut jspan = ctx.child_at("eval.job", i as u64);
+            jspan.attr_u64("user", profile.id as u64);
+            jspan.attr_u64("session", spec.session as u64);
+            let captures = self.capture_train_traced(jspan.ctx(), &profile.body(), spec);
+            let (images, _) = Self::route_images_traced(jspan.ctx(), &worker, spec, &captures)?;
             // Each job is already on a pool worker; extract its images
             // serially with one reused scratch (no nested fan-out).
             Ok(worker.feature_extractor().extract_batch(&images))

@@ -122,6 +122,13 @@ fn fault_sweep_smoke() {
     assert_eq!(p4.faulted_mics, 4);
     assert_eq!(p4.degraded_rejects, 3, "2 genuine + 1 spoofer probes");
     assert_eq!((p4.eer, p4.auc), (1.0, 0.5));
+    // The audit pass ran 2 users + 1 all-mics-dead probe, and every
+    // rejection satisfied the flight-recorder contract (run() asserts
+    // it; the summary re-states the tallies).
+    assert_eq!(out.audit.attempts, 3);
+    assert!(out.audit.rejected >= 1, "all-mics-dead probe must reject");
+    assert_eq!(out.audit.rejected, out.audit.rejected_with_reason);
+    assert_eq!(out.audit.rejected, out.audit.rejected_with_injected_mask);
 }
 
 #[test]

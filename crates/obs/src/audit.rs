@@ -1,0 +1,159 @@
+//! Authentication audit log: one structured record per auth decision.
+//!
+//! Where spans answer "where did the time go", the audit log answers
+//! "why was this attempt accepted or rejected": per-user vote counts,
+//! the best gate margin the SVDD ensemble produced, the degraded
+//! channel mask, the retry index, and a human-readable reject reason
+//! that is non-empty on *every* rejection.
+//!
+//! Unlike span tracing (opt-in, see [`crate::trace`]), auditing rides
+//! the metrics master switch: it is on by default and disabled together
+//! with everything else by [`crate::set_enabled`]`(false)`. Audits are
+//! one small record per decision — orders of magnitude sparser than
+//! spans — so default-on costs nothing measurable, and it means tools
+//! like the `fault_sweep` experiment can inspect decisions without any
+//! tracing flags.
+//!
+//! Determinism: audit contents (including the global decision sequence
+//! number) are bit-identical across thread counts because every
+//! audit-emitting path in the workspace records from the coordinating
+//! thread, never inside a parallel region.
+
+use crate::registry::collecting;
+use crate::trace::AUDIT_RING_CAPACITY;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The outcome of one authentication decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthVerdict {
+    /// The attempt authenticated as the given enrolled user id.
+    Accepted { user_id: u64 },
+    /// The attempt was rejected (see [`AuthAudit::reject_reason`]).
+    Rejected,
+}
+
+/// One authentication decision, end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuthAudit {
+    /// Trace id of the attempt, or 0 when the attempt was untraced.
+    pub trace: u64,
+    /// Global decision sequence number, assigned at record time.
+    pub seq: u64,
+    /// The subject the caller claims to be, when known (experiment
+    /// harnesses know ground truth; a real device would not).
+    pub claimed_user: Option<u64>,
+    /// Beeps in the probe train.
+    pub beeps: u64,
+    /// Per-user accepting-beep counts, sorted by user id. Only users
+    /// with at least one accepting beep appear.
+    pub votes: Vec<(u64, u64)>,
+    /// Accepting beeps required for a verdict (strict majority).
+    pub votes_needed: u64,
+    /// Best (maximum) gate margin over all beeps and gates:
+    /// `decision_value - threshold`. `None` when no feature was scored
+    /// (e.g. the capture was rejected before classification).
+    pub best_gate_margin: Option<f64>,
+    /// Channels in the capture before any excision.
+    pub channels: u64,
+    /// Bitmask of excised channels (bit `i` = mic `i` excised by the
+    /// health screen); 0 for a clean capture. Channels ≥ 64 saturate
+    /// into bit 63.
+    pub degraded_mask: u64,
+    /// Retry index of this attempt (0 = first try).
+    pub retry_index: u64,
+    /// The decision.
+    pub verdict: AuthVerdict,
+    /// Why the attempt was rejected; empty exactly when accepted.
+    pub reject_reason: String,
+}
+
+fn audits() -> &'static Mutex<VecDeque<AuthAudit>> {
+    static AUDITS: OnceLock<Mutex<VecDeque<AuthAudit>>> = OnceLock::new();
+    AUDITS.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// Records one decision. No-op while the registry is disabled. The
+/// record's `seq` field is overwritten with the next global decision
+/// serial. Oldest records are evicted past [`AUDIT_RING_CAPACITY`].
+pub fn record_audit(mut audit: AuthAudit) {
+    if !collecting() {
+        return;
+    }
+    audit.seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut buf = audits().lock().unwrap();
+    if buf.len() >= AUDIT_RING_CAPACITY {
+        buf.pop_front();
+    }
+    buf.push_back(audit);
+}
+
+/// Drains all buffered audit records in decision order.
+pub fn take_audits() -> Vec<AuthAudit> {
+    let mut buf = audits().lock().unwrap();
+    let mut out: Vec<AuthAudit> = buf.drain(..).collect();
+    out.sort_by_key(|a| a.seq);
+    out
+}
+
+/// Clears the audit buffer and decision serial (also invoked by
+/// [`crate::trace::reset_traces`]).
+pub fn reset_audits() {
+    audits().lock().unwrap().clear();
+    NEXT_SEQ.store(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(reason: &str) -> AuthAudit {
+        AuthAudit {
+            trace: 7,
+            seq: 0,
+            claimed_user: Some(3),
+            beeps: 4,
+            votes: vec![(3, 3)],
+            votes_needed: 3,
+            best_gate_margin: Some(0.125),
+            channels: 6,
+            degraded_mask: 0b1,
+            retry_index: 0,
+            verdict: if reason.is_empty() {
+                AuthVerdict::Accepted { user_id: 3 }
+            } else {
+                AuthVerdict::Rejected
+            },
+            reject_reason: reason.to_string(),
+        }
+    }
+
+    #[test]
+    fn records_drain_in_decision_order_with_serial_seq() {
+        let _guard = crate::unit_test_lock();
+        reset_audits();
+        record_audit(sample(""));
+        record_audit(sample("no majority"));
+        let drained = take_audits();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].seq, 1);
+        assert_eq!(drained[1].seq, 2);
+        assert_eq!(drained[1].reject_reason, "no majority");
+        assert!(take_audits().is_empty());
+        reset_audits();
+    }
+
+    #[test]
+    fn disabled_registry_records_no_audits() {
+        let _guard = crate::unit_test_lock();
+        reset_audits();
+        crate::set_enabled(false);
+        record_audit(sample(""));
+        crate::set_enabled(true);
+        assert!(take_audits().is_empty());
+        reset_audits();
+    }
+}

@@ -1,0 +1,240 @@
+//! Trace/audit exporters: JSONL for tooling, Chrome trace-event JSON
+//! for Perfetto / `chrome://tracing`.
+//!
+//! The JSONL stream mixes span and audit lines, discriminated by a
+//! `"type"` field, so one `--trace-out` file carries the whole flight
+//! record. Span and parent ids are emitted as 16-digit hex *strings* —
+//! they are full 64-bit hashes, and JSON numbers lose integer precision
+//! past 2⁵³ in most consumers.
+
+use crate::audit::{AuthAudit, AuthVerdict};
+use crate::json::{escape_json, json_f64};
+use crate::trace::{AttrValue, SpanEvent};
+use std::fmt::Write as _;
+
+fn attr_json(value: &AttrValue) -> String {
+    match value {
+        AttrValue::U64(v) => format!("{v}"),
+        AttrValue::I64(v) => format!("{v}"),
+        AttrValue::F64(v) => json_f64(*v),
+        AttrValue::Bool(v) => format!("{v}"),
+        AttrValue::Str(v) => format!("\"{}\"", escape_json(v)),
+    }
+}
+
+fn attrs_json(attrs: &[(&'static str, AttrValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape_json(key), attr_json(value));
+    }
+    out.push('}');
+    out
+}
+
+/// One span as a JSONL line (no trailing newline).
+pub fn span_to_json(ev: &SpanEvent) -> String {
+    let parent = if ev.parent == 0 {
+        "null".to_string()
+    } else {
+        format!("\"{:016x}\"", ev.parent)
+    };
+    format!(
+        "{{\"type\":\"span\",\"trace\":{},\"seq\":{},\"span\":\"{:016x}\",\"parent\":{},\
+         \"name\":\"{}\",\"lidx\":{},\"start_ns\":{},\"dur_ns\":{},\"attrs\":{}}}",
+        ev.trace,
+        ev.seq,
+        ev.span,
+        parent,
+        escape_json(ev.name),
+        ev.lidx,
+        ev.start_ns,
+        ev.dur_ns,
+        attrs_json(&ev.attrs)
+    )
+}
+
+/// One audit record as a JSONL line (no trailing newline).
+pub fn audit_to_json(a: &AuthAudit) -> String {
+    let claimed = match a.claimed_user {
+        Some(u) => format!("{u}"),
+        None => "null".to_string(),
+    };
+    let votes = {
+        let mut s = String::from("[");
+        for (i, (user, count)) in a.votes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{user},{count}]");
+        }
+        s.push(']');
+        s
+    };
+    let margin = match a.best_gate_margin {
+        Some(m) => json_f64(m),
+        None => "null".to_string(),
+    };
+    let (verdict, accepted_user) = match &a.verdict {
+        AuthVerdict::Accepted { user_id } => ("accepted", format!("{user_id}")),
+        AuthVerdict::Rejected => ("rejected", "null".to_string()),
+    };
+    format!(
+        "{{\"type\":\"audit\",\"trace\":{},\"seq\":{},\"claimed_user\":{},\"beeps\":{},\
+         \"votes\":{},\"votes_needed\":{},\"best_gate_margin\":{},\"channels\":{},\
+         \"degraded_mask\":{},\"retry_index\":{},\"verdict\":\"{}\",\"accepted_user\":{},\
+         \"reject_reason\":\"{}\"}}",
+        a.trace,
+        a.seq,
+        claimed,
+        a.beeps,
+        votes,
+        a.votes_needed,
+        margin,
+        a.channels,
+        a.degraded_mask,
+        a.retry_index,
+        verdict,
+        accepted_user,
+        escape_json(&a.reject_reason)
+    )
+}
+
+/// Serialises spans then audits as a JSONL document (newline per line,
+/// trailing newline included when non-empty).
+pub fn trace_jsonl(spans: &[SpanEvent], audits: &[AuthAudit]) -> String {
+    let mut out = String::new();
+    for ev in spans {
+        out.push_str(&span_to_json(ev));
+        out.push('\n');
+    }
+    for a in audits {
+        out.push_str(&audit_to_json(a));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises spans as a Chrome trace-event JSON document loadable in
+/// Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+///
+/// Mapping: every trace becomes one "thread" (tid = trace id) in a
+/// single process, every span a complete event (`ph: "X"`) with
+/// microsecond timestamps, attributes in `args`. A metadata record
+/// names each trace's row after its root span.
+pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"echoimage\"}}",
+    );
+    // One thread-name row per trace, labelled by its root span.
+    let mut seen: Vec<u64> = Vec::new();
+    for ev in spans {
+        if ev.parent == 0 && !seen.contains(&ev.trace) {
+            seen.push(ev.trace);
+            let _ = write!(
+                out,
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"trace {} · {}\"}}}}",
+                ev.trace,
+                ev.trace,
+                escape_json(ev.name)
+            );
+        }
+    }
+    for ev in spans {
+        let ts_us = ev.start_ns as f64 / 1_000.0;
+        let dur_us = (ev.dur_ns as f64 / 1_000.0).max(0.001);
+        let mut args = format!("\"seq\":{},\"lidx\":{}", ev.seq, ev.lidx);
+        for (key, value) in &ev.attrs {
+            let _ = write!(args, ",\"{}\":{}", escape_json(key), attr_json(value));
+        }
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"{}\",\"cat\":\"echoimage\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{:.3},\"dur\":{:.3},\"args\":{{{}}}}}",
+            escape_json(ev.name),
+            ev.trace,
+            ts_us,
+            dur_us,
+            args
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, span: u64, parent: u64, name: &'static str) -> SpanEvent {
+        SpanEvent {
+            trace,
+            span,
+            parent,
+            name,
+            lidx: 0,
+            start_ns: 1_500,
+            dur_ns: 2_000,
+            seq: 0,
+            attrs: vec![
+                ("beeps", AttrValue::U64(3)),
+                ("hit", AttrValue::Bool(true)),
+                ("margin", AttrValue::F64(-0.5)),
+            ],
+        }
+    }
+
+    #[test]
+    fn span_jsonl_line_is_wellformed() {
+        let line = span_to_json(&span(1, 0xabc, 0, "root"));
+        assert!(line.starts_with("{\"type\":\"span\""));
+        assert!(line.contains("\"parent\":null"));
+        assert!(line.contains("\"span\":\"0000000000000abc\""));
+        assert!(line.contains("\"attrs\":{\"beeps\":3,\"hit\":true,\"margin\":-0.5}"));
+        assert_eq!(line.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn audit_jsonl_line_round_trips_reason() {
+        let audit = AuthAudit {
+            trace: 2,
+            seq: 9,
+            claimed_user: None,
+            beeps: 3,
+            votes: vec![(1, 1), (4, 2)],
+            votes_needed: 2,
+            best_gate_margin: None,
+            channels: 6,
+            degraded_mask: 0b101,
+            retry_index: 1,
+            verdict: AuthVerdict::Rejected,
+            reject_reason: "weird \"quoted\" reason".to_string(),
+        };
+        let line = audit_to_json(&audit);
+        assert!(line.contains("\"claimed_user\":null"));
+        assert!(line.contains("\"votes\":[[1,1],[4,2]]"));
+        assert!(line.contains("\"best_gate_margin\":null"));
+        assert!(line.contains("\"degraded_mask\":5"));
+        assert!(line.contains("weird \\\"quoted\\\" reason"));
+    }
+
+    #[test]
+    fn chrome_export_contains_complete_events() {
+        let spans = vec![
+            span(1, 0x10, 0, "root"),
+            span(1, 0x20, 0x10, "stage.imaging"),
+        ];
+        let doc = chrome_trace_json(&spans);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"name\":\"stage.imaging\""));
+        assert!(doc.contains("\"ts\":1.500"));
+        assert!(doc.contains("thread_name"));
+        assert!(doc.trim_end().ends_with("]}"));
+    }
+}

@@ -1,0 +1,89 @@
+//! The one JSON string escaper every exporter in this crate shares.
+//!
+//! The metrics snapshot, the trace JSONL writer and the Chrome
+//! trace-event writer all hand-roll their JSON (the workspace's vendored
+//! `serde_json` stub has no generic `Value`), so they must agree on how
+//! a string becomes a JSON string literal. Keeping the escaper here —
+//! public, shared, and unit-tested — is what makes a metric or span
+//! name containing `"` or `\` emit *valid* JSON everywhere instead of
+//! only in the exporters that remembered to escape.
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included). Covers the two mandatory escapes (`"`, `\`), the common
+/// whitespace controls, and the rest of the C0 range as `\u00XX`.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values become `null` rather than corrupting the document.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `Display` for f64 prints the shortest round-trip decimal,
+        // which is deterministic for a given bit pattern.
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(escape_json("stage.imaging"), "stage.imaging");
+        assert_eq!(escape_json(""), "");
+    }
+
+    #[test]
+    fn quotes_and_backslashes_are_escaped() {
+        assert_eq!(escape_json(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_json(r"a\b"), r"a\\b");
+        assert_eq!(escape_json(r#"\""#), r#"\\\""#);
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(escape_json("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(escape_json("\u{0}\u{1f}"), "\\u0000\\u001f");
+    }
+
+    #[test]
+    fn escaped_name_survives_a_json_document() {
+        // The exact failure mode the escaper exists for: a name with a
+        // quote must still produce a parseable key.
+        let name = r#"weird"name\with\controls"#;
+        let doc = format!("{{\"{}\": 1}}", escape_json(name));
+        // Every interior `"` is escaped and every `\` doubled, so the
+        // only bare quotes left are the key's two delimiters.
+        assert_eq!(doc, r#"{"weird\"name\\with\\controls": 1}"#);
+        let bare_quotes = doc
+            .char_indices()
+            .filter(|&(i, c)| c == '"' && (i == 0 || doc.as_bytes()[i - 1] != b'\\'))
+            .count();
+        assert_eq!(bare_quotes, 2);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.1), "0.1");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+    }
+}

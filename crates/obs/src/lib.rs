@@ -32,6 +32,17 @@
 //! machine-dependent** and are explicitly outside the contract; only
 //! the *number* of histogram observations is deterministic.
 //!
+//! # Tracing and audit
+//!
+//! Beyond the aggregate metrics, the crate carries a per-attempt flight
+//! recorder: [`trace`] mints a trace id per top-level unit of work and
+//! records hierarchical [`TraceSpan`]s (opt-in via
+//! [`set_trace_enabled`], deterministic 1-in-N [`set_trace_sampling`]),
+//! and [`audit`] keeps one [`AuthAudit`] record per authentication
+//! decision (on by default, disabled with the registry). The [`export`]
+//! module serialises both as JSONL and as Chrome trace-event JSON for
+//! Perfetto. See the module docs for the determinism contract.
+//!
 //! # Example
 //!
 //! ```
@@ -45,15 +56,34 @@
 //! assert!(snap.to_json().contains("\"doc.stage\""));
 //! ```
 
+pub mod audit;
+pub mod export;
+pub mod json;
 mod metrics;
 mod registry;
 mod snapshot;
 mod span;
+pub mod trace;
 
+pub use audit::{record_audit, reset_audits, take_audits, AuthAudit, AuthVerdict};
+pub use json::escape_json;
 pub use metrics::{Counter, Gauge, Histogram, BUCKET_BOUNDS_NS};
 pub use registry::{is_enabled, registry, reset, set_enabled, Registry};
 pub use snapshot::{snapshot, HistogramSnapshot, MetricsSnapshot};
 pub use span::Span;
+pub use trace::{
+    reset_traces, root_span, set_trace_enabled, set_trace_sampling, take_spans, trace_enabled,
+    trace_events_dropped, trace_sampling, SpanEvent, TraceCtx, TraceSpan,
+};
+
+#[cfg(test)]
+pub(crate) fn unit_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    // Unit tests that toggle process-global observability state
+    // (enabled flag, trace flag, ring buffers) serialise on this lock
+    // so the parallel test runner cannot interleave them.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Resolves (and on first use registers) the named [`Counter`], caching
 /// the handle per call site. `$name` must be a `&'static str`.

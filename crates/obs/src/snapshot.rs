@@ -1,10 +1,12 @@
 //! Point-in-time registry snapshots and the hand-rolled JSON exporter.
 //!
 //! The exporter is deliberately dependency-free (the workspace's
-//! vendored `serde_json` stub has no generic `Value`); metric names are
-//! programmer-chosen `&'static str`s, so escaping only needs to cover
-//! the JSON control set, which `escape` does anyway for safety.
+//! vendored `serde_json` stub has no generic `Value`); string escaping
+//! goes through the shared [`crate::json::escape_json`] so metric names
+//! containing `"` or `\` serialise identically here and in the trace
+//! exporters.
 
+use crate::json::escape_json as escape;
 use crate::metrics::BUCKET_BOUNDS_NS;
 use crate::registry::{is_enabled, registry};
 
@@ -75,22 +77,6 @@ pub fn snapshot() -> MetricsSnapshot {
         gauges,
         histograms,
     }
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 fn opt_u64(v: Option<u64>) -> String {

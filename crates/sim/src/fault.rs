@@ -291,9 +291,29 @@ impl FaultPlan {
     /// Applies the plan to a whole beep train — the same hardware fault
     /// damages every beep of a session.
     pub fn apply_train(&self, captures: &[BeepCapture]) -> Vec<BeepCapture> {
-        if !self.is_empty() {
-            echo_obs::counter!("sim.fault_trains").inc();
+        self.apply_train_traced(echo_obs::TraceCtx::none(), captures)
+    }
+
+    /// [`FaultPlan::apply_train`] recording a `sim.fault_inject` trace
+    /// span under `ctx`, tagged with the injected-microphone bitmask so
+    /// a trace of a fault experiment shows *which* channels were
+    /// damaged before the pipeline saw them.
+    pub fn apply_train_traced(
+        &self,
+        ctx: echo_obs::TraceCtx,
+        captures: &[BeepCapture],
+    ) -> Vec<BeepCapture> {
+        if self.is_empty() {
+            return captures.iter().map(|c| self.apply(c)).collect();
         }
+        echo_obs::counter!("sim.fault_trains").inc();
+        let mut tspan = ctx.child("sim.fault_inject");
+        let mask = self
+            .faulted_mics()
+            .iter()
+            .fold(0u64, |m, &mic| m | 1u64 << mic.min(63));
+        tspan.attr_u64("fault_mask", mask);
+        tspan.attr_u64("beeps", captures.len() as u64);
         captures.iter().map(|c| self.apply(c)).collect()
     }
 }

@@ -294,8 +294,32 @@ impl Scene {
         count: usize,
         first_beep: u64,
     ) -> Vec<BeepCapture> {
+        self.capture_train_traced(
+            echo_obs::TraceCtx::none(),
+            body,
+            placement,
+            session,
+            count,
+            first_beep,
+        )
+    }
+
+    /// [`Scene::capture_train`] recording one `sim.beep` trace span per
+    /// rendered beep (indexed by position in the train) under `ctx`.
+    pub fn capture_train_traced(
+        &self,
+        ctx: echo_obs::TraceCtx,
+        body: &BodyModel,
+        placement: &Placement,
+        session: u32,
+        count: usize,
+        first_beep: u64,
+    ) -> Vec<BeepCapture> {
         (0..count)
-            .map(|l| self.capture_beep(body, placement, session, first_beep + l as u64))
+            .map(|l| {
+                let _tspan = ctx.child_at("sim.beep", l as u64);
+                self.capture_beep(body, placement, session, first_beep + l as u64)
+            })
             .collect()
     }
 

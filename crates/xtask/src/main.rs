@@ -13,6 +13,7 @@ use std::path::{Path, PathBuf};
 use std::process::{exit, Command};
 
 mod jsonv;
+mod trace_report;
 use jsonv::Json;
 
 fn main() {
@@ -21,6 +22,7 @@ fn main() {
         Some("ci") => ci(),
         Some("bench-check") => bench_check(&args[1..]),
         Some("bench-baseline") => bench_baseline(),
+        Some("trace-report") => trace_report::trace_report(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             eprintln!("{USAGE}");
@@ -33,12 +35,12 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: cargo xtask <ci | bench-check | bench-baseline>
+const USAGE: &str = "usage: cargo xtask <ci | bench-check | bench-baseline | trace-report>
 
 tasks:
   ci              run the full CI gate (fmt, clippy, build, tests, the
                   determinism matrix, property suites, bench build +
-                  bench-regression check)
+                  bench-regression check, trace-report selftest)
   bench-check     collect a fresh feature_bench sample and fail on a
                   latency regression beyond the threshold
                     --baseline <path>   committed numbers
@@ -49,7 +51,15 @@ tasks:
                     --selftest          verify the comparator itself
   bench-baseline  rerun the full (non-quick) feature bench and rewrite
                   BENCH_features.json — the documented override when a
-                  deliberate change moves the baseline";
+                  deliberate change moves the baseline
+  trace-report    analyse a --trace-out JSONL flight-recorder trace:
+                  per-stage critical-path statistics, slowest traces,
+                  failed authentication attempts
+                    <trace.jsonl>       input trace
+                    --chrome <out>      also write Chrome trace-event
+                                        JSON loadable in Perfetto
+                    --top <n>           slowest traces shown [default: 5]
+                    --selftest          verify the analyser itself";
 
 /// The kernel latencies the regression gate holds. Deliberately the
 /// low-variance single-kernel timings — end-to-end stage timings and
@@ -70,10 +80,11 @@ type Step = (
 
 /// The test suites that must hold bit-for-bit across worker-thread
 /// counts, mirrored by the CI determinism matrix.
-const DETERMINISM_SUITES: [&str; 3] = [
+const DETERMINISM_SUITES: [&str; 4] = [
     "fault_injection",
     "feature_determinism",
     "metrics_determinism",
+    "trace_determinism",
 ];
 
 /// The CI gate, in the same order as .github/workflows/ci.yml: cheap
@@ -141,12 +152,14 @@ fn ci() {
     for (name, args, envs) in tail {
         run(name, args, envs);
     }
+    println!("==> trace-report selftest");
+    trace_report::trace_report(&["--selftest".into()]);
     println!("==> bench-regression check");
     bench_check(&["--selftest".into()]);
     bench_check(&[]);
     println!(
         "\nCI gate passed ({} steps)",
-        steps.len() + matrix_steps + tail.len() + 2
+        steps.len() + matrix_steps + tail.len() + 3
     );
 }
 
@@ -363,7 +376,7 @@ fn bench_baseline() {
     println!("baseline rewritten — review and commit BENCH_features.json");
 }
 
-fn required_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+pub(crate) fn required_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
     it.next().cloned().unwrap_or_else(|| {
         eprintln!("{flag} needs a value");
         exit(2);

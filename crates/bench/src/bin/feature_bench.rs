@@ -129,6 +129,9 @@ fn main() {
         "standing perf gate: GEMM forward ≥ 4× naive; batch scales with \
          threads while staying bit-identical",
     );
+    let simd_requested = std::env::var(echo_dsp::simd::SIMD_ENV).unwrap_or_else(|_| "auto".into());
+    let simd_active = echo_dsp::simd::active().name();
+    println!("SIMD dispatch: requested={simd_requested} active={simd_active}");
     let quick = quick_mode();
     let (reps, single_iters, batch_iters, mf_iters) = if quick {
         (2, 3, 1, 20)
@@ -270,6 +273,18 @@ fn main() {
             echo_obs::escape_json(cache)
         ));
     }
+    // The distance stage is a gated regression metric
+    // (`stage.distance.mean_ns` in `cargo xtask bench-check`), so it
+    // also goes out as a nested object the gate's dotted-path lookup
+    // can resolve.
+    let distance_mean_ns = stages
+        .iter()
+        .find(|h| h.name == "stage.distance")
+        .and_then(|h| h.mean_ns())
+        .unwrap_or_else(|| {
+            eprintln!("WARNING: no stage.distance samples in the snapshot");
+            0.0
+        });
     let stage_json: Vec<String> = stages
         .iter()
         .map(|h| {
@@ -292,6 +307,7 @@ fn main() {
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"feature_bench\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \
+         \"simd\": {{\n    \"requested\": \"{}\",\n    \"active\": \"{}\"\n  }},\n  \
          \"single_image\": {{\n    \"naive_ns\": {naive_ns:.0},\n    \
          \"gemm_ns\": {gemm_ns:.0},\n    \"gemm_scratch_ns\": {gemm_scratch_ns:.0},\n    \
          \"speedup_vs_naive\": {single_speedup:.2}\n  }},\n  \
@@ -299,8 +315,11 @@ fn main() {
          \"matched_filter\": {{\n    \"unplanned_ns\": {mf_unplanned_ns:.0},\n    \
          \"packed_ns\": {mf_packed_ns:.0},\n    \"planned_ns\": {mf_planned_ns:.0},\n    \
          \"speedup_vs_unplanned\": {:.2}\n  }},\n  \
+         \"stage\": {{\n    \"distance\": {{\"mean_ns\": {distance_mean_ns:.0}}}\n  }},\n  \
          \"stages\": [\n{}\n  ],\n  \
          \"caches\": [\n{}\n  ]\n}}\n",
+        echo_obs::escape_json(&simd_requested),
+        simd_active,
         batch_json.join(",\n"),
         mf_unplanned_ns / mf_planned_ns,
         stage_json.join(",\n"),

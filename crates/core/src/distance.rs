@@ -21,7 +21,7 @@ use crate::template_cache::chirp_template_plan_classified;
 use echo_array::{Direction, MicArray};
 use echo_beamform::{apply_weights, mvdr_weights, SpatialCovariance};
 use echo_dsp::correlate::CorrelationScratch;
-use echo_dsp::hilbert::{analytic_signal, analytic_signal_with, moving_average};
+use echo_dsp::hilbert::{analytic_signal_padded, analytic_signal_padded_with, moving_average};
 use echo_dsp::peaks::{find_peaks, strongest_peak_in, Peak};
 use echo_dsp::FftScratch;
 use echo_dsp::{Complex, SPEED_OF_SOUND};
@@ -101,6 +101,9 @@ pub fn estimate_distance_traced(
     let mut tspan = ctx.child("stage.distance");
     tspan.attr_u64("beeps", captures.len() as u64);
     echo_obs::counter!("distance.estimates").inc();
+    // Which SIMD path the kernels below run on. Gauge only — traces and
+    // audits stay bit-identical across dispatch modes by contract.
+    echo_dsp::simd::record_dispatch();
 
     let dcfg = &config.distance;
     let look = Direction::new(dcfg.azimuth, dcfg.elevation);
@@ -123,16 +126,19 @@ pub fn estimate_distance_traced(
     let mut accumulated = vec![0.0f64; n];
     let mut hilbert_scratch = FftScratch::new();
     let mut corr_scratch = CorrelationScratch::new();
+    // The padded analytic signal keeps every per-channel transform on
+    // the radix-2 path (captures are rarely power-of-two length, and
+    // Bluestein costs ~5× a direct pair). The envelope is read well
+    // inside the capture, where the padded and exact transforms agree
+    // to the accumulation noise floor.
     for capture in captures {
         let analytic: Vec<Vec<Complex>> = (0..m)
-            .map(|ch| analytic_signal_with(capture.channel(ch), &mut hilbert_scratch))
+            .map(|ch| analytic_signal_padded_with(capture.channel(ch), &mut hilbert_scratch))
             .collect();
         let beamformed = apply_weights(&analytic, &weights);
         // |C_l(t)| of the analytic correlation *is* the envelope E_l(t).
         let correlation = chirp_plan.matched_filter_complex_with(&beamformed, &mut corr_scratch);
-        for (acc, c) in accumulated.iter_mut().zip(correlation.iter()) {
-            *acc += c.norm_sqr();
-        }
+        echo_dsp::simd::accum_norm_sqr(&mut accumulated, &correlation);
     }
     let l = captures.len() as f64;
     for v in &mut accumulated {
@@ -182,7 +188,7 @@ pub fn noise_covariance(captures: &[BeepCapture]) -> SpatialCovariance {
             continue;
         }
         for (ch, pool) in pooled.iter_mut().enumerate() {
-            let analytic = analytic_signal(&capture.channel(ch)[..capture.preroll()]);
+            let analytic = analytic_signal_padded(&capture.channel(ch)[..capture.preroll()]);
             pool.extend_from_slice(&analytic[..clean]);
         }
     }
@@ -210,7 +216,7 @@ fn locate_peaks(
     dcfg: &DistanceConfig,
     config: &PipelineConfig,
 ) -> Result<DistanceEstimate, EchoImageError> {
-    let max = envelope.iter().cloned().fold(0.0f64, f64::max);
+    let max = echo_dsp::simd::max_f64(envelope).max(0.0);
     if max <= 0.0 {
         return Err(EchoImageError::DirectPathNotFound);
     }
@@ -265,10 +271,7 @@ fn locate_peaks(
     // preroll — otherwise an empty room would "range" its own noise.
     let clean_preroll = preroll.saturating_sub(2 * chirp_period);
     let preroll_floor = if clean_preroll > 16 {
-        smoothed[..clean_preroll]
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max)
+        echo_dsp::simd::max_f64(&smoothed[..clean_preroll]).max(0.0)
     } else {
         0.0
     };

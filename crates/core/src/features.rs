@@ -6,7 +6,7 @@
 //! ([`echo_ml::FeatureExtractor`], see DESIGN.md §1 for the
 //! transfer-learning substitution) behind the same interface.
 
-use crate::par::{effective_threads, parallel_map_indexed};
+use crate::par::{parallel_map_indexed, worker_count};
 use echo_ml::{FeatureExtractor, GrayImage};
 
 /// Extracts fixed-length embeddings from acoustic images.
@@ -67,7 +67,7 @@ impl ImageFeatures {
     /// result is **bit-identical for every thread count and batch
     /// size** — the property the determinism suite pins.
     pub fn extract_batch_threaded(&self, images: &[GrayImage], threads: usize) -> Vec<Vec<f64>> {
-        let workers = effective_threads(threads).min(images.len());
+        let workers = worker_count(threads, images.len());
         if workers <= 1 {
             return self.extract_batch(images);
         }

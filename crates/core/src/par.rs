@@ -20,16 +20,37 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// available parallelism (at least 1), anything else is returned as-is.
 pub fn effective_threads(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+        available_parallelism()
     } else {
         requested
     }
 }
 
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Number of workers the pool will actually run for `items` work items:
+/// the requested count (per [`effective_threads`]), clamped to the
+/// machine's available parallelism and the item count.
+///
+/// The parallelism clamp is what fixes the `batch_16_images`
+/// anti-scaling: the pool's work is CPU-bound and never blocks, so
+/// requesting more workers than cores only buys spawn overhead and
+/// context switches — on a single-core host an explicit `threads = 4`
+/// now takes the same serial path as `threads = 1`. Results are
+/// bit-identical at every worker count either way (reassembly is by
+/// index), so the clamp changes scheduling, never output.
+pub fn worker_count(requested: usize, items: usize) -> usize {
+    effective_threads(requested)
+        .min(available_parallelism())
+        .min(items)
+}
+
 /// Maps `f` over `items` on up to `threads` scoped workers (resolved by
-/// [`effective_threads`]) and returns the results in input order.
+/// [`worker_count`]) and returns the results in input order.
 ///
 /// With `threads <= 1` (or fewer than two items) this is exactly
 /// `items.iter().enumerate().map(..).collect()` — no threads, no
@@ -45,31 +66,40 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let threads = effective_threads(threads).min(items.len());
+    let threads = worker_count(threads, items.len());
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    // Workers buffer (index, result) pairs locally and hand the whole
+    // batch back through their join handle — no per-item channel sends,
+    // and the batch allocation happens once per worker, not once per
+    // mapped item.
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            s.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                if tx.send((i, f(i, item))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
+    let batches: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(i, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
     });
 
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for (i, r) in rx {
+    for (i, r) in batches.into_iter().flatten() {
         slots[i] = Some(r);
     }
     slots
@@ -119,7 +149,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_count_clamps_to_machine_and_items() {
+        let cores = effective_threads(0);
+        assert_eq!(worker_count(0, 1000), cores);
+        assert!(worker_count(4 * cores + 1, 1000) <= cores);
+        assert_eq!(worker_count(8, 1), 1);
+        assert_eq!(worker_count(1, 1000), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
     fn worker_panic_propagates() {
         let items: Vec<u32> = (0..8).collect();
         let _ = parallel_map_indexed(&items, 4, |_, x| {

@@ -21,6 +21,7 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,
@@ -193,6 +194,13 @@ impl Mul<f64> for Complex {
     #[inline]
     fn mul(self, rhs: f64) -> Complex {
         self.scale(rhs)
+    }
+}
+
+impl MulAssign<f64> for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
     }
 }
 

@@ -24,6 +24,7 @@
 use crate::complex::Complex;
 use crate::fft::next_pow2;
 use crate::plan::{fft_plan, FftPlan, FftScratch};
+use crate::simd;
 use std::sync::{Arc, Mutex};
 
 /// Reusable padded work buffer for the correlation routines.
@@ -173,9 +174,7 @@ pub fn matched_filter_complex(signal: &[Complex], template: &[Complex]) -> Vec<C
 
     plan.fft_with(&mut a, &mut scratch);
     plan.fft_with(&mut b, &mut scratch);
-    for (x, y) in a.iter_mut().zip(b.iter()) {
-        *x *= y.conj();
-    }
+    simd::cmul_conj_in_place(&mut a, &b);
     plan.ifft_with(&mut a, &mut scratch);
     a.truncate(n);
     a
@@ -407,16 +406,12 @@ impl MatchedFilterPlan {
         a.extend(signal);
         a.resize(size, Complex::ZERO);
         plan.fft_with(a, &mut scratch.fft);
-        // Identical op order to the unplanned path (`*x *= y.conj()`),
-        // so the planned output is bit-identical.
+        // Identical op order to the unplanned path (`*x *= y.conj()`)
+        // on either SIMD path, so the planned output is bit-identical.
         if conjugate_template {
-            for (x, y) in a.iter_mut().zip(spectrum.iter()) {
-                *x *= y.conj();
-            }
+            simd::cmul_conj_in_place(a, &spectrum);
         } else {
-            for (x, y) in a.iter_mut().zip(spectrum.iter()) {
-                *x *= *y;
-            }
+            simd::cmul_in_place(a, &spectrum);
         }
         plan.ifft_with(a, &mut scratch.fft);
         a

@@ -138,7 +138,7 @@ pub fn ifft(data: &mut [Complex]) {
     }
     let scale = 1.0 / n as f64;
     for x in data.iter_mut() {
-        *x = *x * scale;
+        *x *= scale;
     }
 }
 

@@ -49,6 +49,7 @@ pub mod interp;
 pub mod peaks;
 pub mod plan;
 pub mod resample;
+pub mod simd;
 pub mod stats;
 pub mod stft;
 pub mod window;

@@ -1,0 +1,1248 @@
+//! Runtime-dispatched SIMD microkernels for the distance/FFT hot path.
+//!
+//! Every kernel here exists in two implementations — a portable scalar
+//! loop and an AVX2 (`f64x4`) variant — selected **once per process**
+//! by [`active`] from the `ECHOIMAGE_SIMD` environment knob (mirroring
+//! `ECHOIMAGE_THREADS`):
+//!
+//! * `auto` (default / unset): AVX2 when the CPU reports it, else scalar;
+//! * `scalar`: force the portable path;
+//! * `avx2`: request AVX2; silently falls back to scalar when the CPU
+//!   lacks it (the scalar fallback is mandatory, never an error).
+//!
+//! # Exactness contract
+//!
+//! The AVX2 kernels are deliberately written to preserve the scalar
+//! per-element operation order bit-for-bit: they vectorise *across*
+//! elements, never reassociate *within* one, and use no FMA (separate
+//! `mul`/`add` intrinsics round exactly like the scalar `*` and `+`).
+//! The only algebraic licences taken are addition commutativity
+//! (`a*d + b*c` vs `b*c + a*d` in the complex product) and
+//! `x − (−y) ≡ x + y`, both of which are IEEE-754 rounding-exact.
+//! Consequently scalar and AVX2 runs of the full pipeline produce
+//! bit-identical features, audits and traces, and the oracle tests can
+//! keep asserting `to_bits` equality. The ULP-bounded property suite
+//! (`simd_kernel_properties`) pins each kernel's bound at **0 ULP**
+//! today and is the harness that would absorb a future kernel that
+//! genuinely reassociates.
+//!
+//! # NaN caveat
+//!
+//! [`max_f64`] (and the peak-picking rewritten on top of it) assumes
+//! NaN-free input: `_mm256_max_pd` propagates operands differently from
+//! `f64::max` when NaNs are present. Every caller in this workspace
+//! feeds it envelopes/magnitudes, which are finite by construction.
+//! Ties between `+0.0` and `−0.0` may resolve to either sign.
+//!
+//! # Safety
+//!
+//! All `unsafe` in this crate lives in this module's `avx2` submodule.
+//! The boundary is narrow: each AVX2 kernel is an `unsafe fn` gated by
+//! `#[target_feature(enable = "avx2")]`, reachable only through the
+//! safe dispatch wrappers below, which call it strictly after
+//! [`avx2_supported`] has confirmed the feature at runtime. Loads and
+//! stores are unaligned (`loadu`/`storeu`) on pointers derived from
+//! live slices, with all tail elements handled by the scalar kernel —
+//! no out-of-bounds access, no alignment assumptions. `Complex` is
+//! `#[repr(C)]` so viewing `&[Complex]` as interleaved `re,im` `f64`
+//! pairs is layout-sound.
+
+use crate::complex::Complex;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Environment variable selecting the SIMD path: `auto`, `scalar` or
+/// `avx2` (case-insensitive; unknown values behave like `auto`).
+pub const SIMD_ENV: &str = "ECHOIMAGE_SIMD";
+
+/// Name of the observability gauge recording the resolved path
+/// (value = [`SimdPath::gauge_value`]).
+pub const DISPATCH_GAUGE: &str = "simd.dispatch";
+
+/// The instruction-set path a kernel executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdPath {
+    /// Portable scalar loops — always available.
+    Scalar,
+    /// AVX2 `f64x4` kernels (x86-64 only, runtime-detected).
+    Avx2,
+}
+
+impl SimdPath {
+    /// Stable numeric encoding used by the `simd.dispatch` gauge:
+    /// scalar = 1, avx2 = 2 (0 means "not yet recorded").
+    #[inline]
+    pub fn gauge_value(self) -> i64 {
+        match self {
+            SimdPath::Scalar => 1,
+            SimdPath::Avx2 => 2,
+        }
+    }
+
+    /// Lower-case human-readable name (`scalar` / `avx2`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdPath::Scalar => "scalar",
+            SimdPath::Avx2 => "avx2",
+        }
+    }
+}
+
+const PATH_UNRESOLVED: u8 = 0;
+const PATH_SCALAR: u8 = 1;
+const PATH_AVX2: u8 = 2;
+
+/// Resolved dispatch decision, cached for the life of the process so
+/// the hot loops pay one relaxed load, not an env-var parse.
+static ACTIVE: AtomicU8 = AtomicU8::new(PATH_UNRESOLVED);
+
+/// Whether this CPU can run the AVX2 kernels.
+///
+/// Always `false` off x86-64 and under Miri (Miri interprets portable
+/// Rust only, which conveniently makes every dispatched kernel
+/// Miri-checkable through its scalar path).
+pub fn avx2_supported() -> bool {
+    #[cfg(miri)]
+    {
+        false
+    }
+    #[cfg(all(not(miri), target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(all(not(miri), not(target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// What the environment asked for, before capability clamping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Request {
+    Auto,
+    Scalar,
+    Avx2,
+}
+
+fn parse_request(raw: &str) -> Request {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "scalar" => Request::Scalar,
+        "avx2" => Request::Avx2,
+        // `auto`, empty and anything unrecognised all mean "pick for me";
+        // an env typo must never disable the mandatory scalar fallback
+        // or crash the pipeline.
+        _ => Request::Auto,
+    }
+}
+
+fn resolve() -> SimdPath {
+    let request = std::env::var(SIMD_ENV)
+        .map(|v| parse_request(&v))
+        .unwrap_or(Request::Auto);
+    let path = match request {
+        Request::Scalar => SimdPath::Scalar,
+        Request::Auto | Request::Avx2 => {
+            if avx2_supported() {
+                SimdPath::Avx2
+            } else {
+                SimdPath::Scalar
+            }
+        }
+    };
+    let encoded = match path {
+        SimdPath::Scalar => PATH_SCALAR,
+        SimdPath::Avx2 => PATH_AVX2,
+    };
+    ACTIVE.store(encoded, Ordering::Relaxed);
+    record_dispatch_for(path);
+    path
+}
+
+/// The SIMD path every dispatched kernel in this process uses.
+///
+/// Resolved from [`SIMD_ENV`] + CPU detection on first call, then
+/// cached; the knob is read once, like `ECHOIMAGE_THREADS`.
+#[inline]
+pub fn active() -> SimdPath {
+    match ACTIVE.load(Ordering::Relaxed) {
+        PATH_SCALAR => SimdPath::Scalar,
+        PATH_AVX2 => SimdPath::Avx2,
+        _ => resolve(),
+    }
+}
+
+/// (Re-)records the resolved dispatch path on the `simd.dispatch`
+/// gauge.
+///
+/// The gauge is part of the metrics registry and therefore cleared by
+/// `echo_obs::reset()`; hot entry points call this so any snapshot
+/// taken after real work reports which path ran. Deliberately *not*
+/// recorded on trace spans or audits — those are bit-identical across
+/// SIMD modes by contract, and the mode is an execution detail, not a
+/// decision.
+#[inline]
+pub fn record_dispatch() {
+    record_dispatch_for(active());
+}
+
+fn record_dispatch_for(path: SimdPath) {
+    echo_obs::gauge!(DISPATCH_GAUGE).set(path.gauge_value());
+}
+
+// ─────────────────────────── dispatch wrappers ───────────────────────────
+//
+// Each kernel is exported twice: `foo` dispatches on the process-wide
+// [`active`] path; `foo_with` takes the path explicitly so tests (and
+// the property suite) can pin scalar vs AVX2 side by side in one
+// process. All wrappers clamp to the shortest operand so their
+// semantics match the `Iterator::zip` loops they replace.
+
+macro_rules! dispatch {
+    ($path:expr, $scalar:expr, $avx2:expr) => {
+        match $path {
+            SimdPath::Scalar => $scalar,
+            #[cfg(target_arch = "x86_64")]
+            SimdPath::Avx2 => {
+                debug_assert!(avx2_supported(), "AVX2 path dispatched without CPU support");
+                // SAFETY: `SimdPath::Avx2` is only ever produced by
+                // `resolve()` after `avx2_supported()` returned true, or
+                // passed explicitly by tests that perform the same check.
+                unsafe { $avx2 }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdPath::Avx2 => $scalar,
+        }
+    };
+}
+
+/// One radix-2 butterfly pass: `lo[i], hi[i] ← lo[i] + hi[i]·tw[i],
+/// lo[i] − hi[i]·tw[i]`.
+#[inline]
+pub fn butterfly_pass(lo: &mut [Complex], hi: &mut [Complex], tw: &[Complex]) {
+    butterfly_pass_with(active(), lo, hi, tw);
+}
+
+/// [`butterfly_pass`] on an explicit path.
+#[inline]
+pub fn butterfly_pass_with(path: SimdPath, lo: &mut [Complex], hi: &mut [Complex], tw: &[Complex]) {
+    dispatch!(
+        path,
+        scalar::butterfly_pass(lo, hi, tw),
+        avx2::butterfly_pass(lo, hi, tw)
+    );
+}
+
+/// Pointwise complex product `a[i] *= b[i]`.
+#[inline]
+pub fn cmul_in_place(a: &mut [Complex], b: &[Complex]) {
+    cmul_in_place_with(active(), a, b);
+}
+
+/// [`cmul_in_place`] on an explicit path.
+#[inline]
+pub fn cmul_in_place_with(path: SimdPath, a: &mut [Complex], b: &[Complex]) {
+    dispatch!(path, scalar::cmul_in_place(a, b), avx2::cmul_in_place(a, b));
+}
+
+/// Pointwise conjugated product `a[i] *= conj(b[i])` — the matched
+/// filter's cross-correlation multiply.
+#[inline]
+pub fn cmul_conj_in_place(a: &mut [Complex], b: &[Complex]) {
+    cmul_conj_in_place_with(active(), a, b);
+}
+
+/// [`cmul_conj_in_place`] on an explicit path.
+#[inline]
+pub fn cmul_conj_in_place_with(path: SimdPath, a: &mut [Complex], b: &[Complex]) {
+    dispatch!(
+        path,
+        scalar::cmul_conj_in_place(a, b),
+        avx2::cmul_conj_in_place(a, b)
+    );
+}
+
+/// Pointwise product into a separate output: `out[i] = a[i]·b[i]`.
+#[inline]
+pub fn cmul_into(out: &mut [Complex], a: &[Complex], b: &[Complex]) {
+    cmul_into_with(active(), out, a, b);
+}
+
+/// [`cmul_into`] on an explicit path.
+#[inline]
+pub fn cmul_into_with(path: SimdPath, out: &mut [Complex], a: &[Complex], b: &[Complex]) {
+    dispatch!(
+        path,
+        scalar::cmul_into(out, a, b),
+        avx2::cmul_into(out, a, b)
+    );
+}
+
+/// Scaled pointwise product: `out[i] = (a[i]·b[i])·scale` with the
+/// scalar's rounding order (complex product first, then the real
+/// scale applied to each component).
+#[inline]
+pub fn cmul_scale_into(out: &mut [Complex], a: &[Complex], b: &[Complex], scale: f64) {
+    cmul_scale_into_with(active(), out, a, b, scale);
+}
+
+/// [`cmul_scale_into`] on an explicit path.
+#[inline]
+pub fn cmul_scale_into_with(
+    path: SimdPath,
+    out: &mut [Complex],
+    a: &[Complex],
+    b: &[Complex],
+    scale: f64,
+) {
+    dispatch!(
+        path,
+        scalar::cmul_scale_into(out, a, b, scale),
+        avx2::cmul_scale_into(out, a, b, scale)
+    );
+}
+
+/// Scales every element by a real factor: `a[i] *= k`.
+#[inline]
+pub fn scale_in_place(a: &mut [Complex], k: f64) {
+    scale_in_place_with(active(), a, k);
+}
+
+/// [`scale_in_place`] on an explicit path.
+#[inline]
+pub fn scale_in_place_with(path: SimdPath, a: &mut [Complex], k: f64) {
+    dispatch!(
+        path,
+        scalar::scale_in_place(a, k),
+        avx2::scale_in_place(a, k)
+    );
+}
+
+/// `acc[i] += k·src[i]` — the GEMM inner tile's row update.
+#[inline]
+pub fn axpy(acc: &mut [f64], k: f64, src: &[f64]) {
+    axpy_with(active(), acc, k, src);
+}
+
+/// [`axpy`] on an explicit path.
+#[inline]
+pub fn axpy_with(path: SimdPath, acc: &mut [f64], k: f64, src: &[f64]) {
+    dispatch!(path, scalar::axpy(acc, k, src), avx2::axpy(acc, k, src));
+}
+
+/// Paired-row AXPY sharing one `src` load: `acc0[i] += k0·src[i]`,
+/// `acc1[i] += k1·src[i]` — the register-tiled GEMM's two-output-channel
+/// inner loop.
+#[inline]
+pub fn axpy2(acc0: &mut [f64], acc1: &mut [f64], k0: f64, k1: f64, src: &[f64]) {
+    axpy2_with(active(), acc0, acc1, k0, k1, src);
+}
+
+/// [`axpy2`] on an explicit path.
+#[inline]
+pub fn axpy2_with(
+    path: SimdPath,
+    acc0: &mut [f64],
+    acc1: &mut [f64],
+    k0: f64,
+    k1: f64,
+    src: &[f64],
+) {
+    dispatch!(
+        path,
+        scalar::axpy2(acc0, acc1, k0, k1, src),
+        avx2::axpy2(acc0, acc1, k0, k1, src)
+    );
+}
+
+/// Register-tiled GEMM inner tile, one output channel: for every `k`,
+/// `acc[i] += w[k] · col[k·stride + offset + i]`.
+///
+/// The whole `k` loop runs inside the kernel so the accumulator tile
+/// stays in registers across it — calling [`axpy`] per `k` would spill
+/// and reload the tile on every step, which costs more than the
+/// multiply-adds themselves.
+///
+/// # Panics
+///
+/// Panics if `col` is shorter than
+/// `(w.len() − 1)·stride + offset + acc.len()`.
+#[inline]
+pub fn gemm_tile(acc: &mut [f64], w: &[f64], col: &[f64], stride: usize, offset: usize) {
+    gemm_tile_with(active(), acc, w, col, stride, offset);
+}
+
+/// [`gemm_tile`] on an explicit path.
+#[inline]
+pub fn gemm_tile_with(
+    path: SimdPath,
+    acc: &mut [f64],
+    w: &[f64],
+    col: &[f64],
+    stride: usize,
+    offset: usize,
+) {
+    dispatch!(
+        path,
+        scalar::gemm_tile(acc, w, col, stride, offset),
+        avx2::gemm_tile(acc, w, col, stride, offset)
+    );
+}
+
+/// [`gemm_tile`] over two output channels sharing every column-tile
+/// load: for every `k`, `acc0[i] += w0[k]·col[k·stride + offset + i]`
+/// and `acc1[i] += w1[k]·col[k·stride + offset + i]` (the shorter of
+/// `w0`/`w1` and of `acc0`/`acc1` bounds the loops).
+///
+/// # Panics
+///
+/// Panics if `col` is shorter than the last row the tile reads (see
+/// [`gemm_tile`]).
+#[inline]
+pub fn gemm_tile2(
+    acc0: &mut [f64],
+    acc1: &mut [f64],
+    w0: &[f64],
+    w1: &[f64],
+    col: &[f64],
+    stride: usize,
+    offset: usize,
+) {
+    gemm_tile2_with(active(), acc0, acc1, w0, w1, col, stride, offset);
+}
+
+/// [`gemm_tile2`] on an explicit path.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn gemm_tile2_with(
+    path: SimdPath,
+    acc0: &mut [f64],
+    acc1: &mut [f64],
+    w0: &[f64],
+    w1: &[f64],
+    col: &[f64],
+    stride: usize,
+    offset: usize,
+) {
+    dispatch!(
+        path,
+        scalar::gemm_tile2(acc0, acc1, w0, w1, col, stride, offset),
+        avx2::gemm_tile2(acc0, acc1, w0, w1, col, stride, offset)
+    );
+}
+
+/// Envelope accumulation `acc[i] += |z[i]|²`.
+#[inline]
+pub fn accum_norm_sqr(acc: &mut [f64], z: &[Complex]) {
+    accum_norm_sqr_with(active(), acc, z);
+}
+
+/// [`accum_norm_sqr`] on an explicit path.
+#[inline]
+pub fn accum_norm_sqr_with(path: SimdPath, acc: &mut [f64], z: &[Complex]) {
+    dispatch!(
+        path,
+        scalar::accum_norm_sqr(acc, z),
+        avx2::accum_norm_sqr(acc, z)
+    );
+}
+
+/// Maximum of a NaN-free slice (`−∞` when empty).
+#[inline]
+pub fn max_f64(xs: &[f64]) -> f64 {
+    max_f64_with(active(), xs)
+}
+
+/// [`max_f64`] on an explicit path.
+#[inline]
+pub fn max_f64_with(path: SimdPath, xs: &[f64]) -> f64 {
+    dispatch!(path, scalar::max_f64(xs), avx2::max_f64(xs))
+}
+
+// ─────────────────────────── scalar kernels ───────────────────────────
+
+mod scalar {
+    use super::Complex;
+
+    #[inline]
+    pub fn butterfly_pass(lo: &mut [Complex], hi: &mut [Complex], tw: &[Complex]) {
+        for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(tw.iter()) {
+            let u = *a;
+            let v = *b * w;
+            *a = u + v;
+            *b = u - v;
+        }
+    }
+
+    #[inline]
+    pub fn cmul_in_place(a: &mut [Complex], b: &[Complex]) {
+        for (x, &y) in a.iter_mut().zip(b.iter()) {
+            *x *= y;
+        }
+    }
+
+    #[inline]
+    pub fn cmul_conj_in_place(a: &mut [Complex], b: &[Complex]) {
+        for (x, &y) in a.iter_mut().zip(b.iter()) {
+            *x *= y.conj();
+        }
+    }
+
+    #[inline]
+    pub fn cmul_into(out: &mut [Complex], a: &[Complex], b: &[Complex]) {
+        for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+            *o = x * y;
+        }
+    }
+
+    #[inline]
+    pub fn cmul_scale_into(out: &mut [Complex], a: &[Complex], b: &[Complex], scale: f64) {
+        for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+            *o = x * y * scale;
+        }
+    }
+
+    #[inline]
+    pub fn scale_in_place(a: &mut [Complex], k: f64) {
+        for x in a.iter_mut() {
+            *x *= k;
+        }
+    }
+
+    #[inline]
+    pub fn axpy(acc: &mut [f64], k: f64, src: &[f64]) {
+        for (a, &s) in acc.iter_mut().zip(src.iter()) {
+            *a += k * s;
+        }
+    }
+
+    #[inline]
+    pub fn axpy2(acc0: &mut [f64], acc1: &mut [f64], k0: f64, k1: f64, src: &[f64]) {
+        let n = acc0.len().min(acc1.len()).min(src.len());
+        for i in 0..n {
+            acc0[i] += k0 * src[i];
+            acc1[i] += k1 * src[i];
+        }
+    }
+
+    #[inline]
+    pub fn gemm_tile(acc: &mut [f64], w: &[f64], col: &[f64], stride: usize, offset: usize) {
+        let xb = acc.len();
+        for (k, &wk) in w.iter().enumerate() {
+            let row = &col[k * stride + offset..k * stride + offset + xb];
+            for (a, &s) in acc.iter_mut().zip(row.iter()) {
+                *a += wk * s;
+            }
+        }
+    }
+
+    #[inline]
+    pub fn gemm_tile2(
+        acc0: &mut [f64],
+        acc1: &mut [f64],
+        w0: &[f64],
+        w1: &[f64],
+        col: &[f64],
+        stride: usize,
+        offset: usize,
+    ) {
+        let xb = acc0.len().min(acc1.len());
+        let k_rows = w0.len().min(w1.len());
+        for k in 0..k_rows {
+            let row = &col[k * stride + offset..k * stride + offset + xb];
+            for (i, &s) in row.iter().enumerate() {
+                acc0[i] += w0[k] * s;
+                acc1[i] += w1[k] * s;
+            }
+        }
+    }
+
+    #[inline]
+    pub fn accum_norm_sqr(acc: &mut [f64], z: &[Complex]) {
+        for (a, c) in acc.iter_mut().zip(z.iter()) {
+            *a += c.norm_sqr();
+        }
+    }
+
+    #[inline]
+    pub fn max_f64(xs: &[f64]) -> f64 {
+        xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+// ─────────────────────────── AVX2 kernels ───────────────────────────
+
+/// AVX2 `f64x4` kernels. Every function is `unsafe` + gated on
+/// `#[target_feature(enable = "avx2")]`; the only callers are the
+/// dispatch wrappers above, strictly after a runtime CPU check.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{scalar, Complex};
+    use std::arch::x86_64::*;
+
+    /// Two `Complex` values per 256-bit vector.
+    const CPL: usize = 2;
+    /// Four `f64` values per 256-bit vector.
+    const FPL: usize = 4;
+
+    /// Complex product matching the scalar `Complex::mul` rounding
+    /// exactly (see module docs): even lanes `a.re·b.re − a.im·b.im`,
+    /// odd lanes `a.im·b.re + a.re·b.im`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn cmul_pd(a: __m256d, b: __m256d) -> __m256d {
+        let b_re = _mm256_movedup_pd(b); // [b0.re, b0.re, b1.re, b1.re]
+        let b_im = _mm256_permute_pd(b, 0b1111); // [b0.im, b0.im, b1.im, b1.im]
+        let a_swap = _mm256_permute_pd(a, 0b0101); // [a0.im, a0.re, a1.im, a1.re]
+        let t1 = _mm256_mul_pd(a, b_re); // [a.re·b.re, a.im·b.re]
+        let t2 = _mm256_mul_pd(a_swap, b_im); // [a.im·b.im, a.re·b.im]
+        _mm256_addsub_pd(t1, t2) // [t1 − t2, t1 + t2]
+    }
+
+    /// Conjugated complex product `a · conj(b)` matching the scalar
+    /// `*x * y.conj()` rounding exactly: negating `t2` is sign-flip
+    /// exact, and `addsub(t1, −t2)` yields even `t1 + t2`
+    /// (= `a.re·b.re + a.im·b.im`, the scalar's
+    /// `a.re·b.re − a.im·(−b.im)`) and odd `t1 − t2`
+    /// (= `a.im·b.re − a.re·b.im`).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn cmul_conj_pd(a: __m256d, b: __m256d) -> __m256d {
+        let b_re = _mm256_movedup_pd(b);
+        let b_im = _mm256_permute_pd(b, 0b1111);
+        let a_swap = _mm256_permute_pd(a, 0b0101);
+        let t1 = _mm256_mul_pd(a, b_re);
+        let t2 = _mm256_mul_pd(a_swap, b_im);
+        let neg_t2 = _mm256_xor_pd(t2, _mm256_set1_pd(-0.0));
+        _mm256_addsub_pd(t1, neg_t2)
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn butterfly_pass(lo: &mut [Complex], hi: &mut [Complex], tw: &[Complex]) {
+        let n = lo.len().min(hi.len()).min(tw.len());
+        let head = n - n % CPL;
+        let lp = lo.as_mut_ptr().cast::<f64>();
+        let hp = hi.as_mut_ptr().cast::<f64>();
+        let tp = tw.as_ptr().cast::<f64>();
+        let mut i = 0;
+        while i < 2 * head {
+            // SAFETY: `i + 3 < 2·head ≤ 2·n` f64s are in bounds for all
+            // three slices; loads/stores are unaligned.
+            unsafe {
+                let u = _mm256_loadu_pd(lp.add(i));
+                let h = _mm256_loadu_pd(hp.add(i));
+                let w = _mm256_loadu_pd(tp.add(i));
+                let v = cmul_pd(h, w);
+                _mm256_storeu_pd(lp.add(i), _mm256_add_pd(u, v));
+                _mm256_storeu_pd(hp.add(i), _mm256_sub_pd(u, v));
+            }
+            i += 2 * CPL;
+        }
+        scalar::butterfly_pass(&mut lo[head..n], &mut hi[head..n], &tw[head..n]);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn cmul_in_place(a: &mut [Complex], b: &[Complex]) {
+        let n = a.len().min(b.len());
+        let head = n - n % CPL;
+        let ap = a.as_mut_ptr().cast::<f64>();
+        let bp = b.as_ptr().cast::<f64>();
+        let mut i = 0;
+        while i < 2 * head {
+            // SAFETY: in bounds as in `butterfly_pass`.
+            unsafe {
+                let x = _mm256_loadu_pd(ap.add(i));
+                let y = _mm256_loadu_pd(bp.add(i));
+                _mm256_storeu_pd(ap.add(i), cmul_pd(x, y));
+            }
+            i += 2 * CPL;
+        }
+        scalar::cmul_in_place(&mut a[head..n], &b[head..n]);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn cmul_conj_in_place(a: &mut [Complex], b: &[Complex]) {
+        let n = a.len().min(b.len());
+        let head = n - n % CPL;
+        let ap = a.as_mut_ptr().cast::<f64>();
+        let bp = b.as_ptr().cast::<f64>();
+        let mut i = 0;
+        while i < 2 * head {
+            // SAFETY: in bounds as in `butterfly_pass`.
+            unsafe {
+                let x = _mm256_loadu_pd(ap.add(i));
+                let y = _mm256_loadu_pd(bp.add(i));
+                _mm256_storeu_pd(ap.add(i), cmul_conj_pd(x, y));
+            }
+            i += 2 * CPL;
+        }
+        scalar::cmul_conj_in_place(&mut a[head..n], &b[head..n]);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2. `out` must not alias `a` or `b` (guaranteed by
+    /// the wrapper's `&mut`/`&` borrows).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn cmul_into(out: &mut [Complex], a: &[Complex], b: &[Complex]) {
+        let n = out.len().min(a.len()).min(b.len());
+        let head = n - n % CPL;
+        let op = out.as_mut_ptr().cast::<f64>();
+        let ap = a.as_ptr().cast::<f64>();
+        let bp = b.as_ptr().cast::<f64>();
+        let mut i = 0;
+        while i < 2 * head {
+            // SAFETY: in bounds as in `butterfly_pass`.
+            unsafe {
+                let x = _mm256_loadu_pd(ap.add(i));
+                let y = _mm256_loadu_pd(bp.add(i));
+                _mm256_storeu_pd(op.add(i), cmul_pd(x, y));
+            }
+            i += 2 * CPL;
+        }
+        scalar::cmul_into(&mut out[head..n], &a[head..n], &b[head..n]);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2. `out` must not alias `a` or `b`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn cmul_scale_into(out: &mut [Complex], a: &[Complex], b: &[Complex], scale: f64) {
+        let n = out.len().min(a.len()).min(b.len());
+        let head = n - n % CPL;
+        let op = out.as_mut_ptr().cast::<f64>();
+        let ap = a.as_ptr().cast::<f64>();
+        let bp = b.as_ptr().cast::<f64>();
+        let k = _mm256_set1_pd(scale);
+        let mut i = 0;
+        while i < 2 * head {
+            // SAFETY: in bounds as in `butterfly_pass`.
+            unsafe {
+                let x = _mm256_loadu_pd(ap.add(i));
+                let y = _mm256_loadu_pd(bp.add(i));
+                _mm256_storeu_pd(op.add(i), _mm256_mul_pd(cmul_pd(x, y), k));
+            }
+            i += 2 * CPL;
+        }
+        scalar::cmul_scale_into(&mut out[head..n], &a[head..n], &b[head..n], scale);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_in_place(a: &mut [Complex], k: f64) {
+        let n = a.len();
+        let head = n - n % CPL;
+        let ap = a.as_mut_ptr().cast::<f64>();
+        let kv = _mm256_set1_pd(k);
+        let mut i = 0;
+        while i < 2 * head {
+            // SAFETY: in bounds as in `butterfly_pass`.
+            unsafe {
+                let x = _mm256_loadu_pd(ap.add(i));
+                _mm256_storeu_pd(ap.add(i), _mm256_mul_pd(x, kv));
+            }
+            i += 2 * CPL;
+        }
+        scalar::scale_in_place(&mut a[head..n], k);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(acc: &mut [f64], k: f64, src: &[f64]) {
+        let n = acc.len().min(src.len());
+        let head = n - n % FPL;
+        let kv = _mm256_set1_pd(k);
+        let mut i = 0;
+        while i < head {
+            // SAFETY: `i + 3 < head ≤ n` stays in bounds for both slices.
+            unsafe {
+                let a = _mm256_loadu_pd(acc.as_ptr().add(i));
+                let s = _mm256_loadu_pd(src.as_ptr().add(i));
+                let prod = _mm256_mul_pd(kv, s);
+                _mm256_storeu_pd(acc.as_mut_ptr().add(i), _mm256_add_pd(a, prod));
+            }
+            i += FPL;
+        }
+        scalar::axpy(&mut acc[head..n], k, &src[head..n]);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2. `acc0` and `acc1` must not alias (guaranteed by
+    /// the wrapper's two `&mut` borrows).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy2(acc0: &mut [f64], acc1: &mut [f64], k0: f64, k1: f64, src: &[f64]) {
+        let n = acc0.len().min(acc1.len()).min(src.len());
+        let head = n - n % FPL;
+        let k0v = _mm256_set1_pd(k0);
+        let k1v = _mm256_set1_pd(k1);
+        let mut i = 0;
+        while i < head {
+            // SAFETY: in bounds as in `axpy`.
+            unsafe {
+                let s = _mm256_loadu_pd(src.as_ptr().add(i));
+                let a0 = _mm256_loadu_pd(acc0.as_ptr().add(i));
+                let a1 = _mm256_loadu_pd(acc1.as_ptr().add(i));
+                let p0 = _mm256_mul_pd(k0v, s);
+                let p1 = _mm256_mul_pd(k1v, s);
+                _mm256_storeu_pd(acc0.as_mut_ptr().add(i), _mm256_add_pd(a0, p0));
+                _mm256_storeu_pd(acc1.as_mut_ptr().add(i), _mm256_add_pd(a1, p1));
+            }
+            i += FPL;
+        }
+        scalar::axpy2(
+            &mut acc0[head..n],
+            &mut acc1[head..n],
+            k0,
+            k1,
+            &src[head..n],
+        );
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_tile(acc: &mut [f64], w: &[f64], col: &[f64], stride: usize, offset: usize) {
+        let xb = acc.len();
+        let k_rows = w.len();
+        if k_rows == 0 || xb == 0 {
+            return;
+        }
+        // One up-front bounds proof for every row the k loop will read;
+        // the scalar kernel's per-row slicing would check the same thing
+        // k_rows times.
+        assert!(
+            col.len() >= (k_rows - 1) * stride + offset + xb,
+            "column matrix too short for the tile"
+        );
+        let cp = col.as_ptr();
+        let mut j = 0;
+        // 8-wide column blocks: 2 ymm accumulators live across the whole
+        // k loop (the point of the kernel — see the wrapper docs).
+        while j + 2 * FPL <= xb {
+            // SAFETY: `j + 7 < xb ≤ acc.len()` and every
+            // `k·stride + offset + j + 7` is inside `col` by the assert.
+            unsafe {
+                let ap = acc.as_mut_ptr().add(j);
+                let mut a0 = _mm256_loadu_pd(ap);
+                let mut a1 = _mm256_loadu_pd(ap.add(FPL));
+                for (k, &wk) in w.iter().enumerate() {
+                    let kv = _mm256_set1_pd(wk);
+                    let base = cp.add(k * stride + offset + j);
+                    let s0 = _mm256_loadu_pd(base);
+                    let s1 = _mm256_loadu_pd(base.add(FPL));
+                    a0 = _mm256_add_pd(a0, _mm256_mul_pd(kv, s0));
+                    a1 = _mm256_add_pd(a1, _mm256_mul_pd(kv, s1));
+                }
+                _mm256_storeu_pd(ap, a0);
+                _mm256_storeu_pd(ap.add(FPL), a1);
+            }
+            j += 2 * FPL;
+        }
+        // Column tail (< 8): scalar, same per-element order.
+        if j < xb {
+            for (k, &wk) in w.iter().enumerate() {
+                let row = k * stride + offset;
+                for i in j..xb {
+                    acc[i] += wk * col[row + i];
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2. `acc0` and `acc1` must not alias (guaranteed by
+    /// the wrapper's two `&mut` borrows).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gemm_tile2(
+        acc0: &mut [f64],
+        acc1: &mut [f64],
+        w0: &[f64],
+        w1: &[f64],
+        col: &[f64],
+        stride: usize,
+        offset: usize,
+    ) {
+        let xb = acc0.len().min(acc1.len());
+        let k_rows = w0.len().min(w1.len());
+        if k_rows == 0 || xb == 0 {
+            return;
+        }
+        assert!(
+            col.len() >= (k_rows - 1) * stride + offset + xb,
+            "column matrix too short for the tile"
+        );
+        let cp = col.as_ptr();
+        let mut j = 0;
+        // 8-wide column blocks with both output channels in flight:
+        // 4 ymm accumulators across the k loop, each source load shared.
+        while j + 2 * FPL <= xb {
+            // SAFETY: bounds as in `gemm_tile`; `acc0`/`acc1` are
+            // distinct slices by the two `&mut` borrows.
+            unsafe {
+                let a0p = acc0.as_mut_ptr().add(j);
+                let a1p = acc1.as_mut_ptr().add(j);
+                let mut a00 = _mm256_loadu_pd(a0p);
+                let mut a01 = _mm256_loadu_pd(a0p.add(FPL));
+                let mut a10 = _mm256_loadu_pd(a1p);
+                let mut a11 = _mm256_loadu_pd(a1p.add(FPL));
+                for k in 0..k_rows {
+                    let k0v = _mm256_set1_pd(w0[k]);
+                    let k1v = _mm256_set1_pd(w1[k]);
+                    let base = cp.add(k * stride + offset + j);
+                    let s0 = _mm256_loadu_pd(base);
+                    let s1 = _mm256_loadu_pd(base.add(FPL));
+                    a00 = _mm256_add_pd(a00, _mm256_mul_pd(k0v, s0));
+                    a01 = _mm256_add_pd(a01, _mm256_mul_pd(k0v, s1));
+                    a10 = _mm256_add_pd(a10, _mm256_mul_pd(k1v, s0));
+                    a11 = _mm256_add_pd(a11, _mm256_mul_pd(k1v, s1));
+                }
+                _mm256_storeu_pd(a0p, a00);
+                _mm256_storeu_pd(a0p.add(FPL), a01);
+                _mm256_storeu_pd(a1p, a10);
+                _mm256_storeu_pd(a1p.add(FPL), a11);
+            }
+            j += 2 * FPL;
+        }
+        if j < xb {
+            for k in 0..k_rows {
+                let row = k * stride + offset;
+                for i in j..xb {
+                    acc0[i] += w0[k] * col[row + i];
+                    acc1[i] += w1[k] * col[row + i];
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accum_norm_sqr(acc: &mut [f64], z: &[Complex]) {
+        let n = acc.len().min(z.len());
+        let head = n - n % FPL;
+        let zp = z.as_ptr().cast::<f64>();
+        let mut i = 0;
+        while i < head {
+            // SAFETY: `acc[i..i+4]` and `z[i..i+4]` (8 f64) are in
+            // bounds because `i + 3 < head ≤ n`.
+            unsafe {
+                let z0 = _mm256_loadu_pd(zp.add(2 * i)); // z[i],   z[i+1]
+                let z1 = _mm256_loadu_pd(zp.add(2 * i + 4)); // z[i+2], z[i+3]
+                let s0 = _mm256_mul_pd(z0, z0);
+                let s1 = _mm256_mul_pd(z1, z1);
+                // hadd: [n_i, n_{i+2}, n_{i+1}, n_{i+3}]; re-order the
+                // middle pair back to ascending index. Each lane's
+                // re² + im² matches the scalar `norm_sqr` ordering.
+                let h = _mm256_hadd_pd(s0, s1);
+                let norms = _mm256_permute4x64_pd(h, 0b11011000);
+                let a = _mm256_loadu_pd(acc.as_ptr().add(i));
+                _mm256_storeu_pd(acc.as_mut_ptr().add(i), _mm256_add_pd(a, norms));
+            }
+            i += FPL;
+        }
+        scalar::accum_norm_sqr(&mut acc[head..n], &z[head..n]);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2. Input must be NaN-free (see module docs).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn max_f64(xs: &[f64]) -> f64 {
+        let n = xs.len();
+        let head = n - n % FPL;
+        let mut m = _mm256_set1_pd(f64::NEG_INFINITY);
+        let mut i = 0;
+        while i < head {
+            // SAFETY: `i + 3 < head ≤ n` stays in bounds.
+            unsafe {
+                m = _mm256_max_pd(m, _mm256_loadu_pd(xs.as_ptr().add(i)));
+            }
+            i += FPL;
+        }
+        let lo = _mm256_castpd256_pd128(m);
+        let hi = _mm256_extractf128_pd(m, 1);
+        let pair = _mm_max_pd(lo, hi);
+        let swapped = _mm_unpackhi_pd(pair, pair);
+        let best = _mm_cvtsd_f64(_mm_max_sd(pair, swapped));
+        best.max(scalar::max_f64(&xs[head..n]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cx(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    /// Deterministic pseudo-random operand streams (no `rand` needed
+    /// here; the proptest suite does the heavy fuzzing).
+    fn lcg_f64(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+    }
+
+    fn cvec(n: usize, seed: u64) -> Vec<Complex> {
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|_| cx(lcg_f64(&mut s), lcg_f64(&mut s)))
+            .collect()
+    }
+
+    fn fvec(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed.max(1);
+        (0..n).map(|_| lcg_f64(&mut s)).collect()
+    }
+
+    fn paths() -> Vec<SimdPath> {
+        let mut p = vec![SimdPath::Scalar];
+        if avx2_supported() {
+            p.push(SimdPath::Avx2);
+        }
+        p
+    }
+
+    // ── scalar-reference unit tests (Miri-safe on every host: the
+    //    AVX2 variants only join in when the CPU supports them, and
+    //    `avx2_supported()` is hardwired false under Miri). ──
+
+    #[test]
+    fn scalar_butterfly_matches_hand_computation() {
+        for path in paths() {
+            let mut lo = vec![cx(1.0, 2.0), cx(-0.5, 0.25), cx(3.0, -1.0)];
+            let mut hi = vec![cx(0.5, -1.5), cx(2.0, 1.0), cx(-1.0, 0.125)];
+            let tw = vec![cx(1.0, 0.0), cx(0.0, -1.0), cx(0.5, 0.5)];
+            butterfly_pass_with(path, &mut lo, &mut hi, &tw);
+            // v = hi·tw; lo' = u + v, hi' = u − v.
+            assert_eq!(lo[0], cx(1.5, 0.5));
+            assert_eq!(hi[0], cx(0.5, 3.5));
+            assert_eq!(lo[1], cx(0.5, -1.75)); // v = (1, −2)
+            assert_eq!(hi[1], cx(-1.5, 2.25));
+            assert_eq!(lo[2], cx(2.4375, -1.4375)); // v = (−0.5625, −0.4375)
+            assert_eq!(hi[2], cx(3.5625, -0.5625));
+        }
+    }
+
+    #[test]
+    fn scalar_cmul_kernels_match_complex_ops() {
+        for path in paths() {
+            for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 16, 31] {
+                let a = cvec(n, 11);
+                let b = cvec(n, 23);
+                let mut ip = a.clone();
+                cmul_in_place_with(path, &mut ip, &b);
+                let mut conj = a.clone();
+                cmul_conj_in_place_with(path, &mut conj, &b);
+                let mut into = vec![Complex::ZERO; n];
+                cmul_into_with(path, &mut into, &a, &b);
+                let mut scaled = vec![Complex::ZERO; n];
+                cmul_scale_into_with(path, &mut scaled, &a, &b, 0.125);
+                for i in 0..n {
+                    assert_eq!(ip[i], a[i] * b[i], "cmul_in_place[{i}] on {path:?}");
+                    assert_eq!(conj[i], a[i] * b[i].conj(), "cmul_conj[{i}] on {path:?}");
+                    assert_eq!(into[i], a[i] * b[i], "cmul_into[{i}] on {path:?}");
+                    assert_eq!(
+                        scaled[i],
+                        a[i] * b[i] * 0.125,
+                        "cmul_scale[{i}] on {path:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_scale_axpy_and_norms() {
+        for path in paths() {
+            for n in [0usize, 1, 3, 4, 6, 8, 13] {
+                let mut a = cvec(n, 5);
+                let orig = a.clone();
+                scale_in_place_with(path, &mut a, -1.5);
+                for i in 0..n {
+                    assert_eq!(a[i], orig[i] * -1.5);
+                }
+
+                let src = fvec(n, 7);
+                let mut acc = fvec(n, 9);
+                let base = acc.clone();
+                axpy_with(path, &mut acc, 0.75, &src);
+                for i in 0..n {
+                    assert_eq!(acc[i], base[i] + 0.75 * src[i]);
+                }
+
+                let mut r0 = fvec(n, 13);
+                let mut r1 = fvec(n, 17);
+                let (b0, b1) = (r0.clone(), r1.clone());
+                axpy2_with(path, &mut r0, &mut r1, 2.0, -0.25, &src);
+                for i in 0..n {
+                    assert_eq!(r0[i], b0[i] + 2.0 * src[i]);
+                    assert_eq!(r1[i], b1[i] + -0.25 * src[i]);
+                }
+
+                let z = cvec(n, 19);
+                let mut env = fvec(n, 21);
+                let envb = env.clone();
+                accum_norm_sqr_with(path, &mut env, &z);
+                for i in 0..n {
+                    assert_eq!(env[i], envb[i] + z[i].norm_sqr());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tile_kernels_match_naive_loop() {
+        for path in paths() {
+            // Tile widths straddling the 8-wide vector block, strides
+            // larger than the tile, nonzero offsets.
+            for (xb, k_rows, stride, offset) in [
+                (8, 9, 11, 0),
+                (8, 5, 8, 3),
+                (5, 4, 7, 1),
+                (16, 3, 20, 2),
+                (1, 2, 3, 0),
+            ] {
+                let col = fvec((k_rows - 1) * stride + offset + xb, 41);
+                let w0 = fvec(k_rows, 43);
+                let w1 = fvec(k_rows, 47);
+
+                let mut acc = fvec(xb, 53);
+                let mut want = acc.clone();
+                gemm_tile_with(path, &mut acc, &w0, &col, stride, offset);
+                for (k, &wk) in w0.iter().enumerate() {
+                    for i in 0..xb {
+                        want[i] += wk * col[k * stride + offset + i];
+                    }
+                }
+                assert_eq!(acc, want, "gemm_tile xb={xb} k={k_rows} on {path:?}");
+
+                let mut a0 = fvec(xb, 59);
+                let mut a1 = fvec(xb, 61);
+                let (mut w0_want, mut w1_want) = (a0.clone(), a1.clone());
+                gemm_tile2_with(path, &mut a0, &mut a1, &w0, &w1, &col, stride, offset);
+                for k in 0..k_rows {
+                    for i in 0..xb {
+                        w0_want[i] += w0[k] * col[k * stride + offset + i];
+                        w1_want[i] += w1[k] * col[k * stride + offset + i];
+                    }
+                }
+                assert_eq!(a0, w0_want, "gemm_tile2 ch0 xb={xb} on {path:?}");
+                assert_eq!(a1, w1_want, "gemm_tile2 ch1 xb={xb} on {path:?}");
+            }
+            // Empty weights and empty tiles are no-ops.
+            let mut acc = fvec(4, 67);
+            let before = acc.clone();
+            gemm_tile_with(path, &mut acc, &[], &[], 5, 0);
+            assert_eq!(acc, before);
+            gemm_tile_with(path, &mut [], &[1.0], &[2.0], 1, 0);
+        }
+    }
+
+    #[test]
+    fn scalar_max_matches_fold() {
+        for path in paths() {
+            assert_eq!(max_f64_with(path, &[]), f64::NEG_INFINITY);
+            for n in [1usize, 2, 3, 4, 5, 8, 11, 64] {
+                let xs = fvec(n, 3 + n as u64);
+                let want = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                assert_eq!(max_f64_with(path, &xs), want, "n={n} on {path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_kernels_clamp_to_shortest_operand() {
+        let mut a = cvec(4, 31);
+        let b = cvec(2, 37);
+        let tail = a[2..].to_vec();
+        cmul_in_place(&mut a, &b);
+        assert_eq!(&a[2..], &tail[..], "elements past min length untouched");
+
+        let mut acc = fvec(5, 41);
+        let keep = acc[3..].to_vec();
+        axpy(&mut acc, 1.0, &fvec(3, 43));
+        assert_eq!(&acc[3..], &keep[..]);
+    }
+
+    // ── dispatch machinery ──
+
+    #[test]
+    fn env_parsing_is_permissive() {
+        assert_eq!(parse_request("scalar"), Request::Scalar);
+        assert_eq!(parse_request(" SCALAR "), Request::Scalar);
+        assert_eq!(parse_request("avx2"), Request::Avx2);
+        assert_eq!(parse_request("AVX2"), Request::Avx2);
+        assert_eq!(parse_request("auto"), Request::Auto);
+        assert_eq!(parse_request(""), Request::Auto);
+        assert_eq!(parse_request("sse9-typo"), Request::Auto);
+    }
+
+    #[test]
+    fn active_is_cached_and_consistent_with_env() {
+        let first = active();
+        // A second call must hit the cache and agree.
+        assert_eq!(active(), first);
+        let requested = std::env::var(SIMD_ENV)
+            .map(|v| parse_request(&v))
+            .unwrap_or(Request::Auto);
+        let expect = match requested {
+            Request::Scalar => SimdPath::Scalar,
+            Request::Auto | Request::Avx2 => {
+                if avx2_supported() {
+                    SimdPath::Avx2
+                } else {
+                    SimdPath::Scalar
+                }
+            }
+        };
+        assert_eq!(first, expect);
+    }
+
+    #[test]
+    fn dispatch_gauge_reports_active_path() {
+        echo_obs::set_enabled(true);
+        record_dispatch();
+        let snap = echo_obs::snapshot();
+        let (_, value) = snap
+            .gauges
+            .iter()
+            .find(|(name, _)| name == DISPATCH_GAUGE)
+            .expect("simd.dispatch gauge registered");
+        assert_eq!(*value, active().gauge_value());
+    }
+
+    #[test]
+    fn gauge_values_are_stable() {
+        assert_eq!(SimdPath::Scalar.gauge_value(), 1);
+        assert_eq!(SimdPath::Avx2.gauge_value(), 2);
+        assert_eq!(SimdPath::Scalar.name(), "scalar");
+        assert_eq!(SimdPath::Avx2.name(), "avx2");
+    }
+}

@@ -1,0 +1,349 @@
+//! Scalar-vs-SIMD property suite for the dispatch kernels.
+//!
+//! Every kernel in `echo_dsp::simd` is exercised on random lengths —
+//! deliberately including 0, 1 and non-multiples of the SIMD lane width
+//! (2 complex / 4 real lanes per AVX2 vector) so the vector body *and*
+//! the scalar tail are both hit — with seeded pseudo-random finite
+//! values mixing magnitudes (large, tiny, exact zeros), comparing the
+//! explicit-scalar path against the explicit-AVX2 path.
+//!
+//! # ULP policy
+//!
+//! The AVX2 kernels promise the scalar rounding bit-for-bit (they
+//! vectorise across elements without reassociating within one, and use
+//! no FMA), so every bound below is **0 ULP**. The bounds are spelled
+//! per kernel anyway: a future kernel that legitimately reassociates
+//! (e.g. a horizontal reduction) widens its own constant and documents
+//! why, instead of quietly weakening the whole suite.
+//!
+//! On hosts without AVX2 the comparisons degenerate to scalar-vs-scalar
+//! and pass trivially; CI's dispatch matrix runs the suite on AVX2
+//! hardware.
+
+use echo_dsp::peaks::{find_peaks, Peak};
+use echo_dsp::simd::{
+    self, accum_norm_sqr_with, axpy2_with, axpy_with, butterfly_pass_with, cmul_conj_in_place_with,
+    cmul_in_place_with, cmul_into_with, cmul_scale_into_with, gemm_tile2_with, gemm_tile_with,
+    max_f64_with, scale_in_place_with, SimdPath,
+};
+use echo_dsp::Complex;
+use proptest::prelude::*;
+
+/// Per-kernel ULP bounds (see module docs — all exact today).
+const ULP_BUTTERFLY: u64 = 0;
+const ULP_CMUL: u64 = 0;
+const ULP_SCALE: u64 = 0;
+const ULP_AXPY: u64 = 0;
+const ULP_GEMM_TILE: u64 = 0;
+const ULP_NORM_SQR: u64 = 0;
+const ULP_MAX: u64 = 0;
+
+/// Distance in units-in-the-last-place between two finite doubles,
+/// treating `+0.0` and `−0.0` as equal. Any NaN or sign disagreement is
+/// reported as `u64::MAX` so a 0-ULP bound fails loudly.
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() || a.is_sign_positive() != b.is_sign_positive() {
+        return u64::MAX;
+    }
+    a.to_bits().abs_diff(b.to_bits())
+}
+
+fn assert_ulp(a: f64, b: f64, bound: u64, what: &str) -> Result<(), TestCaseError> {
+    let d = ulp_distance(a, b);
+    prop_assert!(
+        d <= bound,
+        "{}: {:e} vs {:e} differ by {} ULP (bound {})",
+        what,
+        a,
+        b,
+        d,
+        bound
+    );
+    Ok(())
+}
+
+fn assert_ulp_c(a: Complex, b: Complex, bound: u64, what: &str) -> Result<(), TestCaseError> {
+    assert_ulp(a.re, b.re, bound, what)?;
+    assert_ulp(a.im, b.im, bound, what)
+}
+
+/// The path pair under test: scalar always, AVX2 when the host has it.
+fn simd_path() -> SimdPath {
+    if simd::avx2_supported() {
+        SimdPath::Avx2
+    } else {
+        SimdPath::Scalar
+    }
+}
+
+/// Seeded finite value stream mixing magnitudes: mostly O(1)–O(10³)
+/// values, some subnormal-adjacent tiny ones, and exact ±0.0.
+fn next_val(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let u = ((*state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+    match *state % 8 {
+        0 => 0.0,
+        1 => -0.0,
+        2 => u * 1.0e-6,
+        3 => u * 1.0e3,
+        _ => u,
+    }
+}
+
+fn fvec(n: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(2654435761).max(1);
+    (0..n).map(|_| next_val(&mut s)).collect()
+}
+
+fn cvec(n: usize, seed: u64) -> Vec<Complex> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    (0..n)
+        .map(|_| Complex::new(next_val(&mut s), next_val(&mut s)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Lengths 0..101 straddle the lane width: empty, sub-vector, exact
+    // multiples of 2/4/8, and ragged tails all occur.
+
+    fn butterfly_pass_paths_agree(n in 0usize..101, seed in 0u64..10_000) {
+        let lo = cvec(n, seed);
+        let hi = cvec(n, seed ^ 0xA5A5);
+        let tw = cvec(n, seed ^ 0x5A5A);
+        let (mut s_lo, mut s_hi) = (lo.clone(), hi.clone());
+        butterfly_pass_with(SimdPath::Scalar, &mut s_lo, &mut s_hi, &tw);
+        let (mut v_lo, mut v_hi) = (lo, hi);
+        butterfly_pass_with(simd_path(), &mut v_lo, &mut v_hi, &tw);
+        for i in 0..n {
+            assert_ulp_c(s_lo[i], v_lo[i], ULP_BUTTERFLY, "butterfly lo")?;
+            assert_ulp_c(s_hi[i], v_hi[i], ULP_BUTTERFLY, "butterfly hi")?;
+        }
+    }
+
+    fn cmul_family_paths_agree(
+        n in 0usize..101,
+        seed in 0u64..10_000,
+        scale in -4.0..4.0f64,
+    ) {
+        let a = cvec(n, seed);
+        let b = cvec(n, seed ^ 0xC3C3);
+        let path = simd_path();
+
+        let mut s = a.clone();
+        cmul_in_place_with(SimdPath::Scalar, &mut s, &b);
+        let mut v = a.clone();
+        cmul_in_place_with(path, &mut v, &b);
+        for i in 0..n {
+            assert_ulp_c(s[i], v[i], ULP_CMUL, "cmul_in_place")?;
+        }
+
+        let mut s = a.clone();
+        cmul_conj_in_place_with(SimdPath::Scalar, &mut s, &b);
+        let mut v = a.clone();
+        cmul_conj_in_place_with(path, &mut v, &b);
+        for i in 0..n {
+            assert_ulp_c(s[i], v[i], ULP_CMUL, "cmul_conj_in_place")?;
+        }
+
+        let mut s = vec![Complex::ZERO; n];
+        cmul_into_with(SimdPath::Scalar, &mut s, &a, &b);
+        let mut v = vec![Complex::ZERO; n];
+        cmul_into_with(path, &mut v, &a, &b);
+        for i in 0..n {
+            assert_ulp_c(s[i], v[i], ULP_CMUL, "cmul_into")?;
+        }
+
+        let mut s = vec![Complex::ZERO; n];
+        cmul_scale_into_with(SimdPath::Scalar, &mut s, &a, &b, scale);
+        let mut v = vec![Complex::ZERO; n];
+        cmul_scale_into_with(path, &mut v, &a, &b, scale);
+        for i in 0..n {
+            assert_ulp_c(s[i], v[i], ULP_CMUL, "cmul_scale_into")?;
+        }
+    }
+
+    fn scale_paths_agree(
+        n in 0usize..101,
+        seed in 0u64..10_000,
+        k in -1.0e3..1.0e3f64,
+    ) {
+        let a = cvec(n, seed);
+        let mut s = a.clone();
+        scale_in_place_with(SimdPath::Scalar, &mut s, k);
+        let mut v = a;
+        scale_in_place_with(simd_path(), &mut v, k);
+        for i in 0..n {
+            assert_ulp_c(s[i], v[i], ULP_SCALE, "scale_in_place")?;
+        }
+    }
+
+    fn axpy_paths_agree(
+        n in 0usize..101,
+        seed in 0u64..10_000,
+        k0 in -100.0..100.0f64,
+        k1 in -100.0..100.0f64,
+    ) {
+        let acc = fvec(n, seed);
+        let acc1 = fvec(n, seed ^ 0xE1E1);
+        let src = fvec(n, seed ^ 0x1E1E);
+        let path = simd_path();
+
+        let mut s = acc.clone();
+        axpy_with(SimdPath::Scalar, &mut s, k0, &src);
+        let mut v = acc.clone();
+        axpy_with(path, &mut v, k0, &src);
+        for i in 0..n {
+            assert_ulp(s[i], v[i], ULP_AXPY, "axpy")?;
+        }
+
+        let (mut s0, mut s1) = (acc.clone(), acc1.clone());
+        axpy2_with(SimdPath::Scalar, &mut s0, &mut s1, k0, k1, &src);
+        let (mut v0, mut v1) = (acc, acc1);
+        axpy2_with(path, &mut v0, &mut v1, k0, k1, &src);
+        for i in 0..n {
+            assert_ulp(s0[i], v0[i], ULP_AXPY, "axpy2 row0")?;
+            assert_ulp(s1[i], v1[i], ULP_AXPY, "axpy2 row1")?;
+        }
+    }
+
+    // Tile widths 0..25 straddle the 8-wide vector block (vector body,
+    // 4-wide remainder and scalar column tail all occur); `pad` makes
+    // the column stride exceed the tile so the kernel must respect it.
+    fn gemm_tile_paths_agree(
+        xb in 0usize..25,
+        k_rows in 0usize..12,
+        pad in 0usize..5,
+        offset in 0usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let stride = xb + offset + pad;
+        let col_len = if k_rows == 0 { 0 } else { (k_rows - 1) * stride + offset + xb };
+        let col = fvec(col_len, seed);
+        let w0 = fvec(k_rows, seed ^ 0x3D3D);
+        let w1 = fvec(k_rows, seed ^ 0xD3D3);
+        let acc = fvec(xb, seed ^ 0x99);
+        let acc1 = fvec(xb, seed ^ 0x9999);
+        let path = simd_path();
+
+        let mut s = acc.clone();
+        gemm_tile_with(SimdPath::Scalar, &mut s, &w0, &col, stride, offset);
+        let mut v = acc.clone();
+        gemm_tile_with(path, &mut v, &w0, &col, stride, offset);
+        for i in 0..xb {
+            assert_ulp(s[i], v[i], ULP_GEMM_TILE, "gemm_tile")?;
+        }
+
+        let (mut s0, mut s1) = (acc.clone(), acc1.clone());
+        gemm_tile2_with(SimdPath::Scalar, &mut s0, &mut s1, &w0, &w1, &col, stride, offset);
+        let (mut v0, mut v1) = (acc, acc1);
+        gemm_tile2_with(path, &mut v0, &mut v1, &w0, &w1, &col, stride, offset);
+        for i in 0..xb {
+            assert_ulp(s0[i], v0[i], ULP_GEMM_TILE, "gemm_tile2 row0")?;
+            assert_ulp(s1[i], v1[i], ULP_GEMM_TILE, "gemm_tile2 row1")?;
+        }
+    }
+
+    fn accum_norm_sqr_paths_agree(n in 0usize..101, seed in 0u64..10_000) {
+        let acc = fvec(n, seed);
+        let z = cvec(n, seed ^ 0x7777);
+        let mut s = acc.clone();
+        accum_norm_sqr_with(SimdPath::Scalar, &mut s, &z);
+        let mut v = acc;
+        accum_norm_sqr_with(simd_path(), &mut v, &z);
+        for i in 0..n {
+            assert_ulp(s[i], v[i], ULP_NORM_SQR, "accum_norm_sqr")?;
+        }
+    }
+
+    fn max_paths_agree(n in 0usize..101, seed in 0u64..10_000) {
+        let xs = fvec(n, seed);
+        let s = max_f64_with(SimdPath::Scalar, &xs);
+        let v = max_f64_with(simd_path(), &xs);
+        if xs.is_empty() {
+            prop_assert_eq!(s, f64::NEG_INFINITY);
+            prop_assert_eq!(v, f64::NEG_INFINITY);
+        } else {
+            assert_ulp(s, v, ULP_MAX, "max_f64")?;
+        }
+    }
+
+    // `find_peaks` now runs its neighbourhood checks on the SIMD max
+    // kernel; pin it against a literal transcription of the original
+    // element-wise scan on NaN-free signals. Coarse quantisation makes
+    // value ties (the plateau rule) common instead of measure-zero.
+    fn find_peaks_matches_elementwise_reference(
+        n in 0usize..80,
+        seed in 0u64..10_000,
+        min_distance in 0usize..9,
+        threshold in -3.0..3.0f64,
+        quantise in 0u8..2,
+    ) {
+        let mut signal = fvec(n, seed);
+        if quantise == 1 {
+            for v in &mut signal {
+                *v = (*v * 4.0).round() / 4.0;
+            }
+        }
+        let got = find_peaks(&signal, min_distance, threshold);
+        let want = find_peaks_reference(&signal, min_distance, threshold);
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// The pre-SIMD `find_peaks` loop, kept verbatim as the semantic oracle.
+fn find_peaks_reference(signal: &[f64], min_distance: usize, threshold: f64) -> Vec<Peak> {
+    let n = signal.len();
+    let d = min_distance.max(1);
+    let mut peaks = Vec::new();
+    for i in 0..n {
+        let v = signal[i];
+        if v <= threshold {
+            continue;
+        }
+        let lo = i.saturating_sub(d);
+        let hi = (i + d + 1).min(n);
+        let mut is_peak = true;
+        for (j, &w) in signal[lo..hi].iter().enumerate() {
+            let j = lo + j;
+            if j == i {
+                continue;
+            }
+            if w > v || (w == v && j < i) {
+                is_peak = false;
+                break;
+            }
+        }
+        if is_peak {
+            peaks.push(Peak { index: i, value: v });
+        }
+    }
+    peaks
+}
+
+/// The dispatched entry points must agree with whatever `active()`
+/// reports — a direct guard that the cached dispatch byte and the
+/// kernels can't disagree.
+#[test]
+fn dispatched_kernels_follow_active_path() {
+    let a: Vec<Complex> = (0..37)
+        .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+        .collect();
+    let b: Vec<Complex> = (0..37)
+        .map(|i| Complex::new((i as f64 * 0.9).cos(), (i as f64 * 0.4).sin()))
+        .collect();
+    let mut dispatched = a.clone();
+    simd::cmul_in_place(&mut dispatched, &b);
+    let mut explicit = a.clone();
+    cmul_in_place_with(simd::active(), &mut explicit, &b);
+    for (x, y) in dispatched.iter().zip(explicit.iter()) {
+        assert_eq!(x.re.to_bits(), y.re.to_bits());
+        assert_eq!(x.im.to_bits(), y.im.to_bits());
+    }
+}

@@ -221,6 +221,12 @@ impl ConvLayer {
         // store matches the naive layer, so results are bit-identical;
         // tiling changes locality, never results.
         const XB: usize = 8;
+        // SIMD path resolved once per forward pass. The GEMM tile
+        // kernels run the whole k loop internally (the accumulator tile
+        // stays in registers across it) and keep the naive loop's
+        // per-element mul/add order — no FMA — so the `to_bits` oracle
+        // against `forward` holds on both paths.
+        let path = echo_dsp::simd::active();
         let mut x = 0;
         while x + XB <= p {
             // Pairs of output channels share each column-tile load,
@@ -231,13 +237,7 @@ impl ConvLayer {
                 let w1 = &self.weights_gemm[(o + 1) * k_rows..(o + 2) * k_rows];
                 let mut acc0 = [self.bias[o]; XB];
                 let mut acc1 = [self.bias[o + 1]; XB];
-                for (k, (&wk0, &wk1)) in w0.iter().zip(w1).enumerate() {
-                    let src = &col[k * p + x..k * p + x + XB];
-                    for j in 0..XB {
-                        acc0[j] += wk0 * src[j];
-                        acc1[j] += wk1 * src[j];
-                    }
-                }
+                echo_dsp::simd::gemm_tile2_with(path, &mut acc0, &mut acc1, w0, w1, col, p, x);
                 for (d, a) in out[o * p + x..o * p + x + XB].iter_mut().zip(acc0) {
                     *d = a.max(0.0);
                 }
@@ -252,12 +252,7 @@ impl ConvLayer {
             if o < self.out_channels {
                 let w_row = &self.weights_gemm[o * k_rows..(o + 1) * k_rows];
                 let mut acc = [self.bias[o]; XB];
-                for (k, &wk) in w_row.iter().enumerate() {
-                    let src = &col[k * p + x..k * p + x + XB];
-                    for (a, &s) in acc.iter_mut().zip(src) {
-                        *a += wk * s;
-                    }
-                }
+                echo_dsp::simd::gemm_tile_with(path, &mut acc, w_row, col, p, x);
                 for (d, a) in out[o * p + x..o * p + x + XB].iter_mut().zip(acc) {
                     *d = a.max(0.0);
                 }

@@ -64,11 +64,12 @@ tasks:
 /// The kernel latencies the regression gate holds. Deliberately the
 /// low-variance single-kernel timings — end-to-end stage timings and
 /// the naive-reference baselines wander too much on shared runners.
-const GATED_METRICS: [&str; 4] = [
+const GATED_METRICS: [&str; 5] = [
     "single_image.gemm_ns",
     "single_image.gemm_scratch_ns",
     "matched_filter.packed_ns",
     "matched_filter.planned_ns",
+    "stage.distance.mean_ns",
 ];
 
 /// One gate step: display name, cargo arguments, extra environment.
@@ -79,13 +80,20 @@ type Step = (
 );
 
 /// The test suites that must hold bit-for-bit across worker-thread
-/// counts, mirrored by the CI determinism matrix.
-const DETERMINISM_SUITES: [&str; 4] = [
+/// counts and SIMD dispatch modes, mirrored by the CI determinism
+/// matrix.
+const DETERMINISM_SUITES: [&str; 5] = [
     "fault_injection",
     "feature_determinism",
     "metrics_determinism",
+    "simd_dispatch",
     "trace_determinism",
 ];
+
+/// The SIMD dispatch modes the determinism matrix forces. `scalar` pins
+/// the portable kernels; `auto` takes the vectorised path wherever the
+/// host supports it (and must produce bit-identical results).
+const SIMD_MODES: [&str; 2] = ["scalar", "auto"];
 
 /// The CI gate, in the same order as .github/workflows/ci.yml: cheap
 /// static checks first, then the determinism matrix, the test run, and
@@ -117,18 +125,24 @@ fn ci() {
         run(name, args, envs);
     }
     // Determinism matrix: every suite that claims bit-identical results
-    // (and metric counters) runs pinned serial and with the worker pool.
+    // (and metric counters) runs pinned serial and with the worker pool,
+    // each crossed with the scalar and auto SIMD dispatch modes (the
+    // simd_dispatch suite additionally asserts the dispatch gauge
+    // reports the forced path).
     let mut matrix_steps = 0;
-    for threads in ["1", "0"] {
-        for suite in DETERMINISM_SUITES {
-            run(
-                &format!("{suite} (threads = {threads})"),
-                &["test", "-q", "-p", "echoimage-core", "--test", suite],
-                &[("ECHOIMAGE_THREADS", threads)],
-            );
-            matrix_steps += 1;
+    for simd in SIMD_MODES {
+        for threads in ["1", "0"] {
+            for suite in DETERMINISM_SUITES {
+                run(
+                    &format!("{suite} (threads = {threads}, simd = {simd})"),
+                    &["test", "-q", "-p", "echoimage-core", "--test", suite],
+                    &[("ECHOIMAGE_THREADS", threads), ("ECHOIMAGE_SIMD", simd)],
+                );
+                matrix_steps += 1;
+            }
         }
     }
+    matrix_steps += simd_parity();
     let tail: &[Step] = &[
         (
             "GEMM forward vs naive oracle (property suite)",
@@ -147,6 +161,18 @@ fn ci() {
             ],
             &[],
         ),
+        (
+            "SIMD kernels vs scalar, ULP-bounded (property suite)",
+            &[
+                "test",
+                "-q",
+                "-p",
+                "echo-dsp",
+                "--test",
+                "simd_kernel_properties",
+            ],
+            &[],
+        ),
         ("bench build", &["bench", "--no-run", "--workspace"], &[]),
     ];
     for (name, args, envs) in tail {
@@ -161,6 +187,67 @@ fn ci() {
         "\nCI gate passed ({} steps)",
         steps.len() + matrix_steps + tail.len() + 3
     );
+}
+
+/// Cross-process SIMD parity: runs the digest half of the
+/// `simd_dispatch` suite once per dispatch mode and compares the
+/// `target/simd-parity/<mode>.digest` files. On AVX2 hardware this
+/// pins the scalar and vectorised pipelines to bit-identical output;
+/// on hosts without AVX2 both modes resolve to scalar, one digest file
+/// is written, and the comparison holds trivially. Returns the number
+/// of gate steps run.
+fn simd_parity() -> usize {
+    let dir = Path::new("target/simd-parity");
+    let _ = std::fs::remove_dir_all(dir);
+    for simd in SIMD_MODES {
+        run(
+            &format!("simd parity digest (simd = {simd})"),
+            &[
+                "test",
+                "-q",
+                "-p",
+                "echoimage-core",
+                "--test",
+                "simd_dispatch",
+                "parity_digest_is_recorded",
+            ],
+            &[("ECHOIMAGE_SIMD", simd)],
+        );
+    }
+    let mut digests: Vec<(String, String)> = Vec::new();
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| {
+        eprintln!("simd parity: could not read {}: {e}", dir.display());
+        exit(1);
+    });
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(entry.path()).unwrap_or_else(|e| {
+            eprintln!("simd parity: could not read {name}: {e}");
+            exit(1);
+        });
+        digests.push((name, text.trim().to_string()));
+    }
+    digests.sort();
+    if digests.is_empty() {
+        eprintln!("simd parity: the digest suite wrote no digest files");
+        exit(1);
+    }
+    for (name, digest) in &digests {
+        println!("  simd parity: {name} = {digest}");
+    }
+    if digests.iter().any(|(_, d)| d != &digests[0].1) {
+        eprintln!(
+            "simd parity FAILED: scalar and SIMD dispatch produced \
+             different pipeline output"
+        );
+        exit(1);
+    }
+    if digests.len() == 1 {
+        println!("  simd parity: one dispatch mode on this host; parity holds trivially");
+    } else {
+        println!("  simd parity: all dispatch modes bit-identical");
+    }
+    SIMD_MODES.len()
 }
 
 // ── bench-regression gate ────────────────────────────────────────────

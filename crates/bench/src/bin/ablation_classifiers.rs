@@ -1,7 +1,7 @@
 //! Extension — classifier-stage ablations: SVM vs k-NN, PCA dimension
 //! sweep, and pooled vs per-user spoofer gate.
 
-use echo_bench::{artefact_note, banner, quick_mode};
+use echo_bench::{artefact_note, banner, quick_mode, run_or_exit};
 use echo_eval::experiments::ablation_classifiers;
 use echo_eval::report;
 
@@ -20,7 +20,7 @@ fn main() {
         cfg.test_beeps = 3;
         cfg.pca_dims = vec![16];
     }
-    let out = ablation_classifiers::run(&cfg).expect("ablation run failed");
+    let out = run_or_exit(ablation_classifiers::run(&cfg), "ablation run failed");
 
     println!("attribution accuracy (genuine probes → correct user):");
     println!("  one-vs-one SVM     : {:.3}", out.svm_accuracy);

@@ -1,7 +1,7 @@
 //! Extension — imaging-grid resolution sweep: how much resolution does
 //! a 6-microphone array actually exploit?
 
-use echo_bench::{artefact_note, banner, metrics_row, quick_mode};
+use echo_bench::{artefact_note, banner, metrics_row, quick_mode, run_or_exit};
 use echo_eval::experiments::ablation_grid;
 use echo_eval::report;
 
@@ -19,7 +19,7 @@ fn main() {
         cfg.protocol.train_beeps = 8;
         cfg.protocol.test_beeps = 3;
     }
-    let out = ablation_grid::run(&cfg).expect("grid sweep failed");
+    let out = run_or_exit(ablation_grid::run(&cfg), "grid sweep failed");
     for p in &out.points {
         println!(
             "{}   ({:.1} cm cells, ~{:.1} ms/image)",

@@ -2,7 +2,7 @@
 //! (not in the paper; answers how gracefully the health-screen +
 //! mic-subset degraded path gives ground when microphones fail).
 
-use echo_bench::{artefact_note, banner, quick_mode};
+use echo_bench::{artefact_note, banner, quick_mode, run_or_exit};
 use echo_eval::experiments::fault_sweep;
 use echo_eval::report;
 use echo_sim::FaultKind;
@@ -22,7 +22,7 @@ fn main() {
         cfg.protocol.train_beeps = 8;
         cfg.protocol.test_beeps = 3;
     }
-    let out = fault_sweep::run(&cfg).expect("fault sweep failed");
+    let out = run_or_exit(fault_sweep::run(&cfg), "fault sweep failed");
 
     println!(
         "clean baseline: gate EER {:.3}, AUC {:.3}\n",

@@ -12,7 +12,9 @@
 //!
 //! A third section runs the full capture→features pipeline on a small
 //! simulated train with the observability layer enabled and reports the
-//! per-stage latency breakdown plus cache hit rates.
+//! per-stage latency breakdown plus cache hit rates. A fourth runs the
+//! `echo-serve` daemon in-process under a fixed load and records the
+//! micro-batched end-to-end p99 (`serve.p99_ns`, also gated).
 //!
 //! Writes `BENCH_features.json` at the repository root so successive
 //! PRs accumulate a perf trajectory. `--quick` shrinks iteration counts
@@ -20,7 +22,7 @@
 //! explicit path even under `--quick` (the bench-regression gate uses
 //! this to collect a fresh sample without disturbing the baseline).
 
-use echo_bench::{banner, flag_value, quick_mode};
+use echo_bench::{banner, flag_value, quick_mode, run_or_exit};
 use echo_dsp::correlate::{matched_filter, CorrelationScratch, MatchedFilterPlan};
 use echo_dsp::fft::{fft, ifft, next_pow2};
 use echo_dsp::Complex;
@@ -92,9 +94,7 @@ fn pipeline_stage_snapshot(iters: usize) -> echo_obs::MetricsSnapshot {
     echo_dsp::plan::clear_plan_cache();
     echo_obs::reset();
     for _ in 0..iters {
-        pipeline
-            .features_from_train(&caps)
-            .expect("pipeline run failed");
+        run_or_exit(pipeline.features_from_train(&caps), "pipeline run failed");
     }
     echo_obs::snapshot()
 }
@@ -300,6 +300,57 @@ fn main() {
         })
         .collect();
 
+    // ── serving path: micro-batched daemon e2e p99 ───────────────────
+    // Deliberately the same load in quick and full mode: the committed
+    // baseline and the CI smoke sample must measure the same thing for
+    // `serve.p99_ns` to gate regressions rather than configuration.
+    echo_obs::reset();
+    let serve_spec = echo_serve::loadgen::LoadSpec {
+        sessions: 200,
+        qps: 400.0,
+        tenants: 1,
+        users_per_tenant: 1,
+        beeps: 2,
+        enroll_images: 20,
+        image_side: 32,
+    };
+    let server = run_or_exit(
+        echo_serve::server::ServerHandle::start(
+            echo_serve::config::ServeConfig::default(),
+            echo_serve::server::BindAddr::Tcp("127.0.0.1:0".into()),
+        ),
+        "serve bench: bind",
+    );
+    let serve_addr = run_or_exit(
+        server.local_addr().ok_or("server has no TCP address"),
+        "serve bench",
+    );
+    run_or_exit(
+        echo_serve::loadgen::enroll_world(serve_addr, &serve_spec),
+        "serve bench: enrol",
+    );
+    let serve_tallies = run_or_exit(
+        echo_serve::loadgen::run_load(serve_addr, &serve_spec),
+        "serve bench: load",
+    );
+    let serve_report = echo_serve::loadgen::report(serve_tallies, &echo_obs::snapshot());
+    server.shutdown();
+    let serve_p99_ns = serve_report.p99_ns.unwrap_or_else(|| {
+        eprintln!("WARNING: no serve.e2e samples in the snapshot");
+        0
+    });
+    println!(
+        "\nserving path ({} sessions @ {:.0} QPS, {}-beep probes, default batch window):",
+        serve_spec.sessions, serve_spec.qps, serve_spec.beeps
+    );
+    println!(
+        "  achieved {:.0} QPS   p50 {:.2} ms   p99 {:.2} ms   mean batch {:.2}",
+        serve_report.tallies.achieved_qps(),
+        serve_report.p50_ns.unwrap_or(0) as f64 / 1e6,
+        serve_p99_ns as f64 / 1e6,
+        serve_report.mean_batch.unwrap_or(0.0),
+    );
+
     // ── artefact ─────────────────────────────────────────────────────
     let batch_json: Vec<String> = batch_rows
         .iter()
@@ -316,6 +367,7 @@ fn main() {
          \"packed_ns\": {mf_packed_ns:.0},\n    \"planned_ns\": {mf_planned_ns:.0},\n    \
          \"speedup_vs_unplanned\": {:.2}\n  }},\n  \
          \"stage\": {{\n    \"distance\": {{\"mean_ns\": {distance_mean_ns:.0}}}\n  }},\n  \
+         \"serve\": {{\n    \"p99_ns\": {serve_p99_ns}\n  }},\n  \
          \"stages\": [\n{}\n  ],\n  \
          \"caches\": [\n{}\n  ]\n}}\n",
         echo_obs::escape_json(&simd_requested),

@@ -1,6 +1,6 @@
 //! Fig. 5 — body-echo detection and distance-estimation feasibility.
 
-use echo_bench::{artefact_note, banner, quick_mode};
+use echo_bench::{artefact_note, banner, quick_mode, run_or_exit};
 use echo_eval::experiments::fig05;
 use echo_eval::report;
 
@@ -15,7 +15,7 @@ fn main() {
         beeps: if quick_mode() { 6 } else { 20 },
         ..fig05::Config::default()
     };
-    let out = fig05::run(&cfg).expect("distance feasibility run failed");
+    let out = run_or_exit(fig05::run(&cfg), "distance feasibility run failed");
 
     println!("true horizontal distance : {:.3} m", out.true_distance);
     println!(

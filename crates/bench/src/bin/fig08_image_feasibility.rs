@@ -1,7 +1,7 @@
 //! Fig. 8 — acoustic images of two users: same-user images similar,
 //! cross-user images distinct.
 
-use echo_bench::{artefact_note, banner};
+use echo_bench::{artefact_note, banner, run_or_exit};
 use echo_eval::experiments::fig08;
 use echo_eval::report;
 
@@ -11,7 +11,10 @@ fn main() {
         "acoustic images of user A and user B",
         "images of one user very similar; images across users differ significantly",
     );
-    let out = fig08::run(&fig08::Config::default()).expect("image feasibility run failed");
+    let out = run_or_exit(
+        fig08::run(&fig08::Config::default()),
+        "image feasibility run failed",
+    );
     println!(
         "same-user  image similarity : {:.4}",
         out.same_user_similarity

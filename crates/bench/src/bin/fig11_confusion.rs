@@ -1,7 +1,7 @@
 //! Fig. 11 — overall performance: confusion matrix over 12 registered
 //! users and 8 spoofers in a quiet laboratory at 0.7 m.
 
-use echo_bench::{artefact_note, banner, metrics_row, quick_mode};
+use echo_bench::{artefact_note, banner, metrics_row, quick_mode, run_or_exit};
 use echo_eval::experiments::{fig11, protocol::ProtocolConfig};
 use echo_eval::report;
 
@@ -19,7 +19,7 @@ fn main() {
         },
         ..fig11::Config::default()
     };
-    let out = fig11::run(&cfg).expect("overall performance run failed");
+    let out = run_or_exit(fig11::run(&cfg), "overall performance run failed");
 
     println!("{}", out.confusion.to_table());
     println!(

@@ -1,6 +1,6 @@
 //! Fig. 12 — robustness across environments and ambient noises.
 
-use echo_bench::{artefact_note, banner, quick_mode};
+use echo_bench::{artefact_note, banner, quick_mode, run_or_exit};
 use echo_eval::experiments::{fig12, protocol::ProtocolConfig};
 use echo_eval::report;
 
@@ -21,7 +21,7 @@ fn main() {
         },
         ..fig12::Config::default()
     };
-    let out = fig12::run(&cfg).expect("environments run failed");
+    let out = run_or_exit(fig12::run(&cfg), "environments run failed");
 
     println!(
         "{:<18} {:<9} {:>7} {:>9} {:>9}",

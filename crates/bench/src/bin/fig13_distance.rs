@@ -1,6 +1,6 @@
 //! Fig. 13 — F-measure versus user–array distance.
 
-use echo_bench::{artefact_note, banner, quick_mode};
+use echo_bench::{artefact_note, banner, quick_mode, run_or_exit};
 use echo_eval::experiments::{fig13, protocol::ProtocolConfig};
 use echo_eval::report;
 
@@ -26,7 +26,7 @@ fn main() {
         },
         ..fig13::Config::default()
     };
-    let out = fig13::run(&cfg).expect("distance sweep failed");
+    let out = run_or_exit(fig13::run(&cfg), "distance sweep failed");
 
     println!("{:<10} {:<9} {:>9}", "distance", "noise", "F-measure");
     for p in &out.points {

@@ -1,7 +1,7 @@
 //! Fig. 14 — impact of inverse-square data augmentation when training
 //! data is scarce and collected at a single distance.
 
-use echo_bench::{artefact_note, banner, quick_mode};
+use echo_bench::{artefact_note, banner, quick_mode, run_or_exit};
 use echo_eval::experiments::fig14;
 use echo_eval::report;
 
@@ -23,7 +23,7 @@ fn main() {
         test_beeps: if quick_mode() { 2 } else { 4 },
         ..fig14::Config::default()
     };
-    let out = fig14::run(&cfg).expect("augmentation run failed");
+    let out = run_or_exit(fig14::run(&cfg), "augmentation run failed");
 
     println!(
         "{:>11} | {:>7} {:>9} {:>9} | {:>7} {:>9} {:>9}",

@@ -2,7 +2,7 @@
 //! which reports threshold-at-zero rates only; standard biometric
 //! practice).
 
-use echo_bench::{artefact_note, banner, quick_mode};
+use echo_bench::{artefact_note, banner, quick_mode, run_or_exit};
 use echo_eval::experiments::protocol::{enroll, ProtocolConfig, TEST_BEEP_OFFSET};
 use echo_eval::harness::{CaptureSpec, Harness};
 use echo_eval::report;
@@ -25,7 +25,10 @@ fn main() {
         ..ProtocolConfig::default()
     };
     let spec = CaptureSpec::default_lab(0);
-    let auth = enroll(&harness, &registered, &spec, &proto).expect("enrolment failed");
+    let auth = run_or_exit(
+        enroll(&harness, &registered, &spec, &proto),
+        "enrolment failed",
+    );
 
     let mut genuine = Vec::new();
     let mut impostor = Vec::new();

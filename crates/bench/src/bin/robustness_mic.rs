@@ -2,7 +2,7 @@
 //! mismatch (not in the paper; answers how much array calibration the
 //! system needs).
 
-use echo_bench::{artefact_note, banner, metrics_row, quick_mode};
+use echo_bench::{artefact_note, banner, metrics_row, quick_mode, run_or_exit};
 use echo_eval::experiments::robustness;
 use echo_eval::report;
 
@@ -21,7 +21,7 @@ fn main() {
         cfg.protocol.train_beeps = 8;
         cfg.protocol.test_beeps = 3;
     }
-    let out = robustness::run(&cfg).expect("robustness sweep failed");
+    let out = run_or_exit(robustness::run(&cfg), "robustness sweep failed");
 
     println!("— gain-mismatch sweep (timing = 0) —");
     for p in &out.gain_sweep {

@@ -45,7 +45,7 @@ pub fn trace_out() -> Option<PathBuf> {
 pub fn finish_metrics() {
     if let Some(path) = metrics_out() {
         let json = echo_obs::snapshot().to_json();
-        match std::fs::write(&path, json) {
+        match echo_obs::export::write_atomic(&path, json.as_bytes()) {
             Ok(()) => println!("metrics: {}", path.display()),
             Err(e) => eprintln!("could not write metrics to {}: {e}", path.display()),
         }
@@ -64,7 +64,8 @@ pub fn finish_traces() {
     if dropped > 0 {
         eprintln!("trace: ring overflowed, {dropped} span events dropped");
     }
-    match std::fs::write(&path, echo_obs::export::trace_jsonl(&spans, &audits)) {
+    let jsonl = echo_obs::export::trace_jsonl(&spans, &audits);
+    match echo_obs::export::write_atomic(&path, jsonl.as_bytes()) {
         Ok(()) => println!(
             "trace: {} ({} spans, {} audits)",
             path.display(),
@@ -72,6 +73,21 @@ pub fn finish_traces() {
             audits.len()
         ),
         Err(e) => eprintln!("could not write trace to {}: {e}", path.display()),
+    }
+}
+
+/// Unwraps an experiment step's result. On error this does **not**
+/// panic: it prints the error, drains `--metrics-out`/`--trace-out`
+/// (a failed sweep's partial metrics are exactly the ones worth
+/// keeping), and exits non-zero.
+pub fn run_or_exit<T, E: std::fmt::Display>(result: Result<T, E>, what: &str) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{what}: {e}");
+            finish_metrics();
+            std::process::exit(1);
+        }
     }
 }
 

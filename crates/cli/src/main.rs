@@ -33,16 +33,18 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    // Emit observability artefacts on *every* exit path: a failed run
+    // is exactly the one whose partial metrics and trace matter for
+    // diagnosis, and the old success-only emission silently dropped
+    // them.
+    if let Some(path) = metrics_out {
+        write_metrics(&path);
+    }
+    if let Some(path) = trace_out {
+        write_trace(&path);
+    }
     match result {
-        Ok(()) => {
-            if let Some(path) = metrics_out {
-                write_metrics(&path);
-            }
-            if let Some(path) = trace_out {
-                write_trace(&path);
-            }
-            ExitCode::SUCCESS
-        }
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("run `echoimage help` for usage");
@@ -66,18 +68,24 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 }
 
 /// Writes the observability snapshot collected during the command.
+///
+/// Atomic + durable (temp file, fsync, rename): the snapshot either
+/// lands whole or not at all, even when the command itself failed and
+/// the process is about to exit.
 fn write_metrics(path: &str) {
-    match std::fs::write(path, echo_obs::snapshot().to_json()) {
+    match echo_obs::export::write_atomic(path, echo_obs::snapshot().to_json().as_bytes()) {
         Ok(()) => println!("metrics: {path}"),
         Err(e) => eprintln!("could not write metrics to {path}: {e}"),
     }
 }
 
-/// Writes the flight-recorder trace (spans + audit records) as JSONL.
+/// Writes the flight-recorder trace (spans + audit records) as JSONL,
+/// with the same atomic-and-durable discipline as [`write_metrics`].
 fn write_trace(path: &str) {
     let spans = echo_obs::take_spans();
     let audits = echo_obs::take_audits();
-    match std::fs::write(path, echo_obs::export::trace_jsonl(&spans, &audits)) {
+    let jsonl = echo_obs::export::trace_jsonl(&spans, &audits);
+    match echo_obs::export::write_atomic(path, jsonl.as_bytes()) {
         Ok(()) => println!(
             "trace: {path} ({} spans, {} audits)",
             spans.len(),
@@ -115,11 +123,11 @@ COMMANDS:
 GLOBAL OPTIONS:
     --metrics-out <path>   write a JSON observability snapshot (stage
                            latencies, cache hit rates, pipeline counters)
-                           after the command succeeds
+                           when the command exits, even on failure
     --trace-out <path>     record a flight-recorder trace (hierarchical
                            stage spans + authentication audit records)
-                           and write it as JSONL after the command
-                           succeeds; convert for Perfetto with
+                           and write it as JSONL when the command exits,
+                           even on failure; convert for Perfetto with
                            `cargo xtask trace-report <path> --chrome out.json`"
     );
 }

@@ -549,15 +549,107 @@ impl Authenticator {
         };
         let degraded = !health.all_healthy();
         let mask = health.excised_mask();
+        (
+            self.vote_and_audit(ctx, &features, attempt, channels, beeps, mask),
+            degraded,
+        )
+    }
+
+    /// Authenticates a train whose per-beep **features are already
+    /// extracted** — the serving layer's entry point. The daemon
+    /// coalesces many concurrent requests into one
+    /// `extract_batch_threaded` call and then decides each request here,
+    /// so the decision path (per-beep scoring, strict-majority vote,
+    /// audit record) is shared with [`authenticate_train_traced`] and
+    /// bit-identical to it for the same features.
+    ///
+    /// The audit records `channels = 0` and `degraded_mask = 0`: health
+    /// screening happened (if at all) wherever the features were
+    /// extracted, which this entry point cannot see.
+    ///
+    /// # Errors
+    ///
+    /// * [`EchoImageError::NoCaptures`] when `features` is empty.
+    /// * [`EchoImageError::InvalidParameter`] when any feature vector
+    ///   disagrees with the enrolled dimensionality.
+    ///
+    /// Every error still records an audit with a non-empty reject
+    /// reason.
+    ///
+    /// [`authenticate_train_traced`]: Authenticator::authenticate_train_traced
+    pub fn authenticate_features_traced(
+        &self,
+        ctx: TraceCtx,
+        features: &[Vec<f64>],
+        attempt: AuthAttempt,
+    ) -> Result<AuthDecision, EchoImageError> {
+        let mut tspan = ctx.child_at("stage.auth", attempt.retry_index);
+        let started = echo_obs::is_enabled().then(Instant::now);
+        echo_obs::counter!("auth.train_attempts").inc();
+        let beeps = features.len() as u64;
+        let outcome = if features.is_empty() {
+            let e = EchoImageError::NoCaptures;
+            echo_obs::record_audit(AuthAudit {
+                trace: ctx.trace_id(),
+                seq: 0,
+                claimed_user: attempt.claimed_user,
+                beeps,
+                votes: Vec::new(),
+                votes_needed: 1,
+                best_gate_margin: None,
+                channels: 0,
+                degraded_mask: 0,
+                retry_index: attempt.retry_index,
+                verdict: AuthVerdict::Rejected,
+                reject_reason: format!("capture rejected before classification: {e}"),
+            });
+            Err(e)
+        } else {
+            self.vote_and_audit(tspan.ctx(), features, &attempt, 0, beeps, 0)
+        };
+        if let Some(t0) = started {
+            echo_obs::histogram!("stage.auth").observe_ns(t0.elapsed().as_nanos() as u64);
+        }
+        tspan.attr_bool("accepted", matches!(&outcome, Ok(d) if d.is_accepted()));
+        outcome
+    }
+
+    /// The shared decision tail: score each beep's features, take the
+    /// strict-majority vote, bump the accept/reject counters, and record
+    /// exactly one [`AuthAudit`]. Both the raw-train path and the
+    /// feature-level serving path funnel through here, so their
+    /// decisions and audits cannot drift apart.
+    fn vote_and_audit(
+        &self,
+        ctx: TraceCtx,
+        features: &[Vec<f64>],
+        attempt: &AuthAttempt,
+        channels: u64,
+        beeps: u64,
+        mask: u64,
+    ) -> Result<AuthDecision, EchoImageError> {
         let mut counts: Vec<(usize, usize)> = Vec::new();
         let mut best_margin = f64::NEG_INFINITY;
-        for f in &features {
+        for f in features {
             if f.len() != self.scaler.dim() {
                 let e = EchoImageError::InvalidParameter(
                     "feature vector does not match the enrolled dimensionality",
                 );
-                echo_obs::record_audit(reject_audit(format!("pipeline error: {e}"), mask));
-                return (Err(e), degraded);
+                echo_obs::record_audit(AuthAudit {
+                    trace: ctx.trace_id(),
+                    seq: 0,
+                    claimed_user: attempt.claimed_user,
+                    beeps,
+                    votes: Vec::new(),
+                    votes_needed: beeps / 2 + 1,
+                    best_gate_margin: None,
+                    channels,
+                    degraded_mask: mask,
+                    retry_index: attempt.retry_index,
+                    verdict: AuthVerdict::Rejected,
+                    reject_reason: format!("pipeline error: {e}"),
+                });
+                return Err(e);
             }
             let (decision, margin) = self.authenticate_scored(f);
             best_margin = best_margin.max(margin);
@@ -616,7 +708,7 @@ impl Authenticator {
             verdict,
             reject_reason: reason,
         });
-        (Ok(decision), degraded)
+        Ok(decision)
     }
 
     /// [`Authenticator::authenticate_train`] with retry-on-degraded
@@ -899,5 +991,43 @@ mod tests {
     #[test]
     fn retry_policy_defaults_to_one_retry() {
         assert_eq!(RetryPolicy::default().max_attempts, 2);
+    }
+
+    #[test]
+    fn feature_level_auth_majority_votes_like_the_train_path() {
+        let auth = Authenticator::enroll(
+            &[(1, cluster(0.0, 0.0, 40, 1)), (2, cluster(3.0, 0.0, 40, 2))],
+            &AuthConfig::default(),
+        )
+        .unwrap();
+        let root = echo_obs::root_span("test");
+        // Three beeps of user 1, none of anyone else: strict majority.
+        let feats = vec![vec![0.05, 0.0], vec![-0.05, 0.05], vec![0.0, -0.05]];
+        let d = auth
+            .authenticate_features_traced(root.ctx(), &feats, AuthAttempt::default())
+            .unwrap();
+        assert_eq!(d.user_id(), Some(1));
+        // One beep each of users 1 and 2 plus a spoofer: no majority.
+        let split = vec![vec![0.0, 0.0], vec![3.0, 0.0], vec![20.0, 20.0]];
+        let d = auth
+            .authenticate_features_traced(root.ctx(), &split, AuthAttempt::default())
+            .unwrap();
+        assert_eq!(d, AuthDecision::Rejected);
+    }
+
+    #[test]
+    fn feature_level_auth_rejects_empty_and_misshapen_input() {
+        let auth = Authenticator::enroll(&[(1, cluster(0.0, 0.0, 20, 3))], &AuthConfig::default())
+            .unwrap();
+        let root = echo_obs::root_span("test");
+        let err = auth
+            .authenticate_features_traced(root.ctx(), &[], AuthAttempt::default())
+            .unwrap_err();
+        assert!(matches!(err, EchoImageError::NoCaptures));
+        let bad = vec![vec![0.0, 0.0, 0.0]];
+        let err = auth
+            .authenticate_features_traced(root.ctx(), &bad, AuthAttempt::default())
+            .unwrap_err();
+        assert!(matches!(err, EchoImageError::InvalidParameter(_)));
     }
 }

@@ -14,7 +14,89 @@
 //! the plain serial loop (no threads spawned at all), and `n ≥ 2` spawns
 //! `n` workers.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The environment variable naming the worker-thread count used by
+/// every fan-out in the workspace (`0` = available parallelism, `1` =
+/// serial, `n ≥ 2` = exactly `n` workers).
+pub const THREADS_ENV: &str = "ECHOIMAGE_THREADS";
+
+/// Upper bound accepted for an explicit thread count. Far above any
+/// real machine; its purpose is to reject garbage (`ECHOIMAGE_THREADS=
+/// 99999999`) at parse time instead of silently coercing it — spawning
+/// is clamped to available parallelism anyway, but a value this large
+/// is a configuration mistake worth surfacing.
+pub const MAX_THREADS: usize = 1024;
+
+/// A thread-count string that failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadsParseError {
+    /// The value is not a base-10 unsigned integer.
+    NotANumber {
+        /// The offending string, verbatim.
+        value: String,
+    },
+    /// The value parsed but exceeds [`MAX_THREADS`].
+    OutOfRange {
+        /// The parsed count.
+        value: usize,
+    },
+}
+
+impl fmt::Display for ThreadsParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadsParseError::NotANumber { value } => write!(
+                f,
+                "{THREADS_ENV}: `{value}` is not a thread count \
+                 (want 0 = auto, 1 = serial, or an explicit worker count)"
+            ),
+            ThreadsParseError::OutOfRange { value } => write!(
+                f,
+                "{THREADS_ENV}: {value} exceeds the maximum of {MAX_THREADS} threads"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ThreadsParseError {}
+
+/// Parses a thread-count string under the workspace convention,
+/// rejecting non-numeric and out-of-range values instead of silently
+/// coercing them.
+///
+/// # Errors
+///
+/// [`ThreadsParseError::NotANumber`] for anything that is not a base-10
+/// unsigned integer, [`ThreadsParseError::OutOfRange`] past
+/// [`MAX_THREADS`].
+pub fn parse_threads(s: &str) -> Result<usize, ThreadsParseError> {
+    let n: usize = s
+        .trim()
+        .parse()
+        .map_err(|_| ThreadsParseError::NotANumber {
+            value: s.to_string(),
+        })?;
+    if n > MAX_THREADS {
+        return Err(ThreadsParseError::OutOfRange { value: n });
+    }
+    Ok(n)
+}
+
+/// Reads [`THREADS_ENV`] with validation: unset means `0` (auto), a set
+/// value must parse under [`parse_threads`].
+///
+/// # Errors
+///
+/// See [`parse_threads`]; a set-but-invalid value is an error, never a
+/// silent fallback.
+pub fn threads_from_env() -> Result<usize, ThreadsParseError> {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => parse_threads(&v),
+        Err(_) => Ok(0),
+    }
+}
 
 /// Resolves a requested thread count: `0` becomes the machine's
 /// available parallelism (at least 1), anything else is returned as-is.
@@ -155,6 +237,37 @@ mod tests {
         assert!(worker_count(4 * cores + 1, 1000) <= cores);
         assert_eq!(worker_count(8, 1), 1);
         assert_eq!(worker_count(1, 1000), 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_the_convention_range() {
+        assert_eq!(parse_threads("0"), Ok(0));
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert_eq!(parse_threads("1024"), Ok(MAX_THREADS));
+    }
+
+    #[test]
+    fn parse_threads_rejects_garbage_with_typed_errors() {
+        assert!(matches!(
+            parse_threads("four"),
+            Err(ThreadsParseError::NotANumber { .. })
+        ));
+        assert!(matches!(
+            parse_threads("-2"),
+            Err(ThreadsParseError::NotANumber { .. })
+        ));
+        assert!(matches!(
+            parse_threads(""),
+            Err(ThreadsParseError::NotANumber { .. })
+        ));
+        assert!(matches!(
+            parse_threads("1025"),
+            Err(ThreadsParseError::OutOfRange { value: 1025 })
+        ));
+        // The message names the env var so a daemon log is actionable.
+        let msg = parse_threads("zzz").unwrap_err().to_string();
+        assert!(msg.contains(THREADS_ENV), "{msg}");
     }
 
     #[test]

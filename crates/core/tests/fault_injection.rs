@@ -21,10 +21,7 @@ use echoimage_core::{AuthDecision, Authenticator, EchoImageError, RetryPolicy};
 /// Worker threads for the pipeline under test (`ECHOIMAGE_THREADS`,
 /// default auto).
 fn pool_threads() -> usize {
-    std::env::var("ECHOIMAGE_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+    echoimage_core::par::threads_from_env().expect("invalid ECHOIMAGE_THREADS")
 }
 
 fn config(threads: usize) -> PipelineConfig {

@@ -39,10 +39,7 @@ fn guard() -> MutexGuard<'static, ()> {
 /// Worker threads for the path under test (`ECHOIMAGE_THREADS`,
 /// default auto).
 fn pool_threads() -> usize {
-    std::env::var("ECHOIMAGE_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+    echoimage_core::par::threads_from_env().expect("invalid ECHOIMAGE_THREADS")
 }
 
 fn config(threads: usize) -> PipelineConfig {

@@ -15,6 +15,10 @@ pub const ARTEFACT_DIR: &str = "target/experiments";
 /// Serialises `value` as pretty JSON to `<dir>/<name>.json`, creating
 /// the directory if needed, and returns the written path.
 ///
+/// The write is atomic and durable (temp file + fsync + rename), so a
+/// crash mid-run can never leave a torn artefact that a later
+/// EXPERIMENTS.md regeneration would silently cite.
+///
 /// # Errors
 ///
 /// Returns any I/O or serialisation error.
@@ -23,7 +27,7 @@ pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> io::Result
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(&path, json)?;
+    echo_obs::export::write_atomic(&path, json.as_bytes())?;
     Ok(path)
 }
 

@@ -32,6 +32,13 @@ pub enum AuthVerdict {
     Accepted { user_id: u64 },
     /// The attempt was rejected (see [`AuthAudit::reject_reason`]).
     Rejected,
+    /// The attempt was shed before classification because an admission
+    /// queue was full — a serving-layer reject distinct from a
+    /// biometric one: the sample was never scored, and the caller
+    /// should back off and retry rather than treat it as a spoofer
+    /// verdict (see [`AuthAudit::reject_reason`] for the queue that
+    /// overflowed).
+    Overloaded,
 }
 
 /// One authentication decision, end to end.

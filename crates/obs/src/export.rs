@@ -11,6 +11,44 @@ use crate::audit::{AuthAudit, AuthVerdict};
 use crate::json::{escape_json, json_f64};
 use crate::trace::{AttrValue, SpanEvent};
 use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically and durably: the bytes go to
+/// a sibling temporary file first, are flushed and fsynced, and only
+/// then renamed over the destination. A reader (or a crash, `kill -9`,
+/// or an overloaded server shedding work mid-export) therefore sees
+/// either the complete previous file or the complete new one — never a
+/// truncated metrics snapshot or a torn half-written JSONL trace line.
+///
+/// On any error the destination is left exactly as it was and the
+/// temporary file is cleaned up on a best-effort basis.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (create, write, fsync or
+/// rename), with the temporary path named in the message.
+pub fn write_atomic<P: AsRef<Path>>(path: P, contents: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let cleanup_on = |e: io::Error, what: &str| {
+        let _ = std::fs::remove_file(&tmp);
+        io::Error::new(e.kind(), format!("{what} {}: {e}", tmp.display()))
+    };
+    let mut f = std::fs::File::create(&tmp)
+        .map_err(|e| io::Error::new(e.kind(), format!("creating {}: {e}", tmp.display())))?;
+    f.write_all(contents)
+        .and_then(|()| f.flush())
+        .map_err(|e| cleanup_on(e, "writing"))?;
+    // Durability half of the contract: the data must be on disk before
+    // the rename publishes it, or a power cut could publish an empty
+    // file through the (metadata-ordered) rename.
+    f.sync_all().map_err(|e| cleanup_on(e, "syncing"))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| cleanup_on(e, "renaming"))
+}
 
 fn attr_json(value: &AttrValue) -> String {
     match value {
@@ -80,6 +118,7 @@ pub fn audit_to_json(a: &AuthAudit) -> String {
     let (verdict, accepted_user) = match &a.verdict {
         AuthVerdict::Accepted { user_id } => ("accepted", format!("{user_id}")),
         AuthVerdict::Rejected => ("rejected", "null".to_string()),
+        AuthVerdict::Overloaded => ("overloaded", "null".to_string()),
     };
     format!(
         "{{\"type\":\"audit\",\"trace\":{},\"seq\":{},\"claimed_user\":{},\"beeps\":{},\
@@ -221,6 +260,70 @@ mod tests {
         assert!(line.contains("\"best_gate_margin\":null"));
         assert!(line.contains("\"degraded_mask\":5"));
         assert!(line.contains("weird \\\"quoted\\\" reason"));
+    }
+
+    #[test]
+    fn overloaded_verdict_serialises_distinctly() {
+        let audit = AuthAudit {
+            trace: 3,
+            seq: 1,
+            claimed_user: Some(9),
+            beeps: 1,
+            votes: vec![],
+            votes_needed: 1,
+            best_gate_margin: None,
+            channels: 0,
+            degraded_mask: 0,
+            retry_index: 0,
+            verdict: AuthVerdict::Overloaded,
+            reject_reason: "overloaded: tenant 9 queue full (4/4)".to_string(),
+        };
+        let line = audit_to_json(&audit);
+        assert!(line.contains("\"verdict\":\"overloaded\""));
+        assert!(line.contains("\"accepted_user\":null"));
+        assert!(line.contains("queue full"));
+    }
+
+    #[test]
+    fn write_atomic_round_trips_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join("echoimage-write-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        write_atomic(&path, b"{\"a\":1}\n").unwrap();
+        write_atomic(&path, b"{\"a\":2}\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"a\":2}\n");
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(leftovers, 0, "temporary files must not survive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Torn-write regression: a failed export must leave the previous
+    /// complete file untouched — never a truncated or half-replaced one.
+    #[test]
+    fn write_atomic_failure_preserves_previous_contents() {
+        let dir = std::env::temp_dir().join("echoimage-write-atomic-fail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let old = b"{\"type\":\"audit\",\"seq\":1}\n";
+        write_atomic(&path, old).unwrap();
+        // The temp file is created next to the destination; making the
+        // destination a *directory* forces the final rename to fail
+        // after the bytes were already written — the worst-case torn
+        // moment for a non-atomic writer.
+        let blocked = dir.join("blocked.jsonl");
+        std::fs::create_dir_all(&blocked).unwrap();
+        // Seed the would-be destination's directory form with a marker
+        // file so we can verify nothing inside it was disturbed either.
+        std::fs::write(blocked.join("marker"), b"x").unwrap();
+        assert!(write_atomic(&blocked, b"new contents").is_err());
+        assert_eq!(std::fs::read(blocked.join("marker")).unwrap(), b"x");
+        // And the original file is still byte-identical.
+        assert_eq!(std::fs::read(&path).unwrap(), old);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

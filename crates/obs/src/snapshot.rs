@@ -29,6 +29,44 @@ impl HistogramSnapshot {
     pub fn mean_ns(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum_ns as f64 / self.count as f64)
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) in nanoseconds, or `None`
+    /// while the histogram is empty or `q` is out of range.
+    ///
+    /// The estimate walks the cumulative bucket counts to the bucket
+    /// containing the requested rank and interpolates linearly inside
+    /// it, with the bucket edges tightened to the observed `min`/`max`
+    /// so single-bucket histograms report sensible values instead of a
+    /// whole log-ladder decade. Coarse by construction — the ladder has
+    /// 16 buckets — but monotone in `q` and good enough for the
+    /// p50/p99/p999 the serving layer reports.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &in_bucket) in self.buckets.iter().enumerate() {
+            if in_bucket == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += in_bucket;
+            if seen < rank {
+                continue;
+            }
+            // Nominal bucket edges from the ladder; the overflow bucket
+            // is open-ended above the last bound.
+            let lo = if i == 0 { 0 } else { BUCKET_BOUNDS_NS[i - 1] };
+            let hi = BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(u64::MAX);
+            // Tighten to what was actually observed.
+            let lo = self.min_ns.map_or(lo, |m| lo.max(m));
+            let hi = self.max_ns.map_or(hi, |m| hi.min(m)).max(lo);
+            let frac = (rank - before) as f64 / in_bucket as f64;
+            return Some(lo + ((hi - lo) as f64 * frac).round() as u64);
+        }
+        self.max_ns
+    }
 }
 
 /// Every registered metric frozen at one point in time, sorted by name
@@ -178,4 +216,67 @@ fn histogram_json(h: &HistogramSnapshot) -> String {
         opt_u64(h.max_ns),
         buckets.join(", ")
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(buckets: Vec<u64>, min_ns: u64, max_ns: u64) -> HistogramSnapshot {
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            name: "t".into(),
+            count,
+            sum_ns: 0,
+            min_ns: (count > 0).then_some(min_ns),
+            max_ns: (count > 0).then_some(max_ns),
+            buckets,
+        }
+    }
+
+    #[test]
+    fn quantile_of_empty_or_bad_q_is_none() {
+        let h = hist(vec![0; BUCKET_BOUNDS_NS.len() + 1], 0, 0);
+        assert_eq!(h.quantile_ns(0.5), None);
+        let mut b = vec![0; BUCKET_BOUNDS_NS.len() + 1];
+        b[0] = 1;
+        let h = hist(b, 500, 500);
+        assert_eq!(h.quantile_ns(-0.1), None);
+        assert_eq!(h.quantile_ns(1.5), None);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bracketed_by_min_max() {
+        // 10 obs ≤1µs, 80 in (1µs, 5µs], 10 in (5µs, 10µs].
+        let mut b = vec![0u64; BUCKET_BOUNDS_NS.len() + 1];
+        (b[0], b[1], b[2]) = (10, 80, 10);
+        let h = hist(b, 800, 9_000);
+        let p50 = h.quantile_ns(0.50).unwrap();
+        let p99 = h.quantile_ns(0.99).unwrap();
+        let p999 = h.quantile_ns(0.999).unwrap();
+        assert!(p50 >= 800 && p999 <= 9_000, "{p50} {p999}");
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        // The median rank lands in the middle bucket.
+        assert!((1_000..=5_000).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn single_bucket_histogram_stays_inside_observed_range() {
+        let mut b = vec![0u64; BUCKET_BOUNDS_NS.len() + 1];
+        b[6] = 100; // all obs in (500µs, 1ms]
+        let h = hist(b, 700_000, 800_000);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile_ns(q).unwrap();
+            assert!((700_000..=800_000).contains(&v), "q={q} → {v}");
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_uses_observed_max() {
+        let mut b = vec![0u64; BUCKET_BOUNDS_NS.len() + 1];
+        *b.last_mut().unwrap() = 4; // beyond the 10s ladder top
+        let h = hist(b, 11_000_000_000, 12_000_000_000);
+        let v = h.quantile_ns(0.99).unwrap();
+        assert!((11_000_000_000..=12_000_000_000).contains(&v), "{v}");
+    }
 }

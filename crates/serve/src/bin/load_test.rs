@@ -1,0 +1,128 @@
+//! Load-tests the daemon: replay thousands of simulated auth sessions
+//! at a target QPS and report latency/batching from the daemon's own
+//! histograms.
+//!
+//! ```text
+//! load_test [--sessions N] [--qps F] [--beeps N] [--tenants N] [--users N]
+//!           [--window-us N] [--max-batch N] [--queue-bound N] [--threads N]
+//!           [--metrics-out PATH] [--quick]
+//! ```
+//!
+//! The server runs in-process on an ephemeral TCP port, so the reported
+//! `serve.e2e` percentiles and `serve.batch_size` mean come straight
+//! from the process-wide metrics registry — the same numbers
+//! `--metrics-out` exports. The run self-checks: it fails (non-zero
+//! exit) if any request errored or the p99 is missing, which is what
+//! the CI smoke leans on.
+
+use echo_serve::config::ServeConfig;
+use echo_serve::loadgen::{self, LoadSpec};
+use echo_serve::server::{BindAddr, ServerHandle};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name}: `{v}` is not a valid value")),
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = take_flag(&mut args, "--quick");
+    let default_sessions = if quick { 200 } else { 2000 };
+    let mut spec = LoadSpec {
+        sessions: parse_flag(&mut args, "--sessions", default_sessions)?,
+        qps: parse_flag(&mut args, "--qps", 600.0)?,
+        beeps: parse_flag(&mut args, "--beeps", LoadSpec::default().beeps)?,
+        tenants: parse_flag(&mut args, "--tenants", 2)?,
+        users_per_tenant: parse_flag(&mut args, "--users", 2)?,
+        ..LoadSpec::default()
+    };
+    spec.tenants = spec.tenants.max(1);
+    spec.users_per_tenant = spec.users_per_tenant.max(1);
+    let window_us: u64 = parse_flag(&mut args, "--window-us", 3_000)?;
+    let max_batch: usize = parse_flag(&mut args, "--max-batch", 32)?;
+    let queue_bound: usize = parse_flag(&mut args, "--queue-bound", 256)?;
+    let threads = match flag_value(&mut args, "--threads") {
+        Some(v) => echoimage_core::par::parse_threads(&v).map_err(|e| e.to_string())?,
+        None => echoimage_core::par::threads_from_env().map_err(|e| e.to_string())?,
+    };
+    let metrics_out = flag_value(&mut args, "--metrics-out");
+    if let Some(extra) = args.first() {
+        return Err(format!("unrecognised argument `{extra}`"));
+    }
+
+    let cfg = ServeConfig::validated(
+        Duration::from_micros(window_us),
+        max_batch,
+        queue_bound,
+        threads,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let server = ServerHandle::start(cfg, BindAddr::Tcp("127.0.0.1:0".into()))
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server
+        .local_addr()
+        .ok_or_else(|| "server has no TCP address".to_string())?;
+
+    loadgen::enroll_world(addr, &spec).map_err(|e| format!("enrol: {e}"))?;
+    let tallies = loadgen::run_load(addr, &spec).map_err(|e| format!("load: {e}"))?;
+    let snapshot = echo_obs::snapshot();
+    let report = loadgen::report(tallies, &snapshot);
+    print!("{}", report.to_json());
+
+    if let Some(path) = metrics_out {
+        echo_obs::export::write_atomic(&path, snapshot.to_json().as_bytes())
+            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+    }
+    server.shutdown();
+
+    let healthy = report.tallies.errors == 0 && report.p99_ns.is_some();
+    if !healthy {
+        eprintln!(
+            "load_test: unhealthy run: {} errors, p99 {:?}",
+            report.tallies.errors, report.p99_ns
+        );
+    }
+    Ok(healthy)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("load_test: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

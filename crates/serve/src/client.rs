@@ -1,0 +1,189 @@
+//! A small blocking client for the daemon's frame protocol — what the
+//! load generator, the smoke tests, and a would-be device SDK build on.
+
+use crate::protocol::{
+    decode_response, encode_request, split_frame, ProtocolError, Request, Response,
+};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server sent a frame this client cannot decode.
+    Protocol(ProtocolError),
+    /// The server closed the connection mid-response.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Protocol(e) => write!(f, "bad response frame: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+enum ClientStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.write_all(buf),
+            ClientStream::Unix(s) => s.write_all(buf),
+        }
+    }
+}
+
+/// A blocking connection to the daemon. Requests may be pipelined:
+/// [`Client::send`] does not wait, [`Client::recv`] returns responses
+/// in the order the server finished them (FIFO per connection for
+/// queued work).
+pub struct Client {
+    stream: ClientStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the connection fails.
+    pub fn connect_tcp(addr: SocketAddr) -> Result<Client, ClientError> {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?;
+        Ok(Client {
+            stream: ClientStream::Tcp(s),
+            buf: Vec::new(),
+        })
+    }
+
+    /// Connects over a unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the connection fails.
+    pub fn connect_unix<P: AsRef<Path>>(path: P) -> Result<Client, ClientError> {
+        let s = UnixStream::connect(path)?;
+        Ok(Client {
+            stream: ClientStream::Unix(s),
+            buf: Vec::new(),
+        })
+    }
+
+    /// A second handle on the same connection (e.g. a reader thread
+    /// draining pipelined responses while this one keeps sending). The
+    /// clone starts with an empty frame buffer, so exactly one of the
+    /// two handles should ever call [`Client::recv`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the socket cannot be duplicated.
+    pub fn try_clone(&self) -> Result<Client, ClientError> {
+        let stream = match &self.stream {
+            ClientStream::Tcp(s) => ClientStream::Tcp(s.try_clone()?),
+            ClientStream::Unix(s) => ClientStream::Unix(s.try_clone()?),
+        };
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Bounds how long [`Client::recv`] blocks (`None` = forever).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the socket rejects the option.
+    pub fn set_read_timeout(
+        &mut self,
+        dur: Option<std::time::Duration>,
+    ) -> Result<(), ClientError> {
+        match &self.stream {
+            ClientStream::Tcp(s) => s.set_read_timeout(dur)?,
+            ClientStream::Unix(s) => s.set_read_timeout(dur)?,
+        }
+        Ok(())
+    }
+
+    /// Sends one request frame without waiting for the response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on write failure.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        self.stream.write_all(&encode_request(req))?;
+        Ok(())
+    }
+
+    /// Blocks until the next complete response frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] on EOF mid-frame, [`ClientError::Io`] /
+    /// [`ClientError::Protocol`] on transport or framing failures.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((payload, used)) = split_frame(&self.buf)? {
+                let resp = decode_response(payload)?;
+                self.buf.drain(..used);
+                return Ok(resp);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ClientError::Closed),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Sends one request and blocks for its response, skipping any
+    /// pipelined responses to *other* request ids still in flight.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::send`] and [`Client::recv`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        loop {
+            let resp = self.recv()?;
+            if resp.request_id == req.request_id {
+                return Ok(resp);
+            }
+        }
+    }
+}

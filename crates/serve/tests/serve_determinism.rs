@@ -1,0 +1,78 @@
+//! Cross-thread-count determinism of the serving path.
+//!
+//! This test compares the *entire audit log* of two runs of the same
+//! sequential workload — one on a serial extraction pool
+//! (`threads = 1`), one on the auto-sized pool (`threads = 0`) — and
+//! requires them bit-identical: same verdicts, same vote tallies, same
+//! gate margins to the last bit, same sequence numbers. It lives in its
+//! own integration-test binary because it resets the process-global
+//! observability state between runs; sharing a process with other
+//! tests would race on the audit ring.
+
+use echo_serve::config::ServeConfig;
+use echo_serve::loadgen::synth_image;
+use echo_serve::protocol::{Opcode, Request, Status};
+use echo_serve::server::{BindAddr, ServerHandle};
+use echo_serve::Client;
+use std::time::Duration;
+
+fn run_workload(threads: usize) -> Vec<echo_obs::AuthAudit> {
+    echo_obs::reset_audits();
+    echo_obs::reset_traces();
+    let cfg = ServeConfig::validated(Duration::from_micros(500), 8, 64, threads).expect("config");
+    let server =
+        ServerHandle::start(cfg, BindAddr::Tcp("127.0.0.1:0".into())).expect("bind tcp socket");
+    let addr = server.local_addr().expect("tcp addr");
+    let mut client = Client::connect_tcp(addr).expect("connect");
+
+    for user in [1u64, 2] {
+        let images: Vec<_> = (0..20u64).map(|v| synth_image(9, user, v, 32)).collect();
+        let resp = client
+            .call(&Request {
+                op: Opcode::Enroll,
+                request_id: user,
+                tenant: 9,
+                user,
+                images,
+            })
+            .expect("enrol");
+        assert_eq!(resp.status, Status::Ok, "{}", resp.reason);
+    }
+
+    // Sequential probes: the workload itself is order-deterministic, so
+    // any divergence below comes from the extraction pool.
+    for i in 0..12u64 {
+        let user = i % 2 + 1;
+        let images: Vec<_> = (0..3u64)
+            .map(|b| synth_image(9, user, 4_000 + i * 8 + b, 32))
+            .collect();
+        let resp = client
+            .call(&Request {
+                op: Opcode::Auth,
+                request_id: 100 + i,
+                tenant: 9,
+                user,
+                images,
+            })
+            .expect("auth");
+        assert!(
+            matches!(resp.status, Status::Accepted | Status::Rejected),
+            "probe {i}: {:?} {}",
+            resp.status,
+            resp.reason
+        );
+    }
+    server.shutdown();
+    echo_obs::take_audits()
+}
+
+#[test]
+fn audits_bit_identical_across_thread_counts() {
+    let serial = run_workload(1);
+    let auto = run_workload(0);
+    assert_eq!(serial.len(), 12, "one audit per probe");
+    assert_eq!(
+        serial, auto,
+        "serial and auto pools must decide identically"
+    );
+}

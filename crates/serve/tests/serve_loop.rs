@@ -1,0 +1,187 @@
+//! Functional integration tests for the daemon: wire round-trips over
+//! both transports, typed overload shedding, and enrol-while-
+//! authenticate consistency.
+//!
+//! These tests share the process-global observability state with each
+//! other (integration tests in one binary run on parallel threads), so
+//! any test that inspects the audit log filters by its own distinctive
+//! tenant id instead of assuming it owns the ring. Cross-run audit
+//! equality lives in `serve_determinism.rs`, a separate binary and
+//! therefore a separate process.
+
+use echo_serve::config::ServeConfig;
+use echo_serve::loadgen::synth_image;
+use echo_serve::protocol::{Opcode, Request, Status};
+use echo_serve::server::{BindAddr, ServerHandle};
+use echo_serve::Client;
+use std::time::Duration;
+
+fn enroll(client: &mut Client, tenant: u64, user: u64, images: usize) {
+    let images: Vec<_> = (0..images as u64)
+        .map(|v| synth_image(tenant, user, v, 32))
+        .collect();
+    let resp = client
+        .call(&Request {
+            op: Opcode::Enroll,
+            request_id: 900 + user,
+            tenant,
+            user,
+            images,
+        })
+        .expect("enrol round-trip");
+    assert_eq!(resp.status, Status::Ok, "enrol failed: {}", resp.reason);
+}
+
+fn auth_request(tenant: u64, user: u64, rid: u64, first_variant: u64) -> Request {
+    let images: Vec<_> = (0..3u64)
+        .map(|b| synth_image(tenant, user, first_variant + b, 32))
+        .collect();
+    Request {
+        op: Opcode::Auth,
+        request_id: rid,
+        tenant,
+        user,
+        images,
+    }
+}
+
+#[test]
+fn unix_socket_roundtrip_enrol_then_authenticate() {
+    let path = std::env::temp_dir().join(format!("echo-serve-test-{}.sock", std::process::id()));
+    let server = ServerHandle::start(ServeConfig::default(), BindAddr::Unix(path.clone()))
+        .expect("bind unix socket");
+    let mut client = Client::connect_unix(&path).expect("connect");
+
+    // Ping before any enrolment.
+    let pong = client
+        .call(&Request {
+            op: Opcode::Ping,
+            request_id: 1,
+            tenant: 11,
+            user: u64::MAX,
+            images: Vec::new(),
+        })
+        .expect("ping");
+    assert_eq!(pong.status, Status::Ok);
+
+    // Auth against an empty tenant is a typed error, not a panic.
+    let resp = client
+        .call(&auth_request(11, 1, 2, 100))
+        .expect("auth round-trip");
+    assert_eq!(resp.status, Status::Error);
+    assert!(resp.reason.contains("no enrolled users"), "{}", resp.reason);
+
+    enroll(&mut client, 11, 1, 20);
+    let resp = client
+        .call(&auth_request(11, 1, 3, 100))
+        .expect("auth round-trip");
+    assert_eq!(resp.status, Status::Accepted, "{}", resp.reason);
+
+    server.shutdown();
+    assert!(!path.exists(), "socket file cleaned up on shutdown");
+}
+
+#[test]
+fn overload_sheds_with_typed_rejects_and_audits() {
+    // One admission slot and a batch window long enough that the burst
+    // below lands entirely inside it: everything past the first queued
+    // job must shed.
+    let tenant = 777u64;
+    let cfg = ServeConfig::validated(Duration::from_millis(150), 4096, 1, 1).expect("config");
+    let server =
+        ServerHandle::start(cfg, BindAddr::Tcp("127.0.0.1:0".into())).expect("bind tcp socket");
+    let addr = server.local_addr().expect("tcp addr");
+    let mut client = Client::connect_tcp(addr).expect("connect");
+
+    enroll(&mut client, tenant, 1, 20);
+
+    // Burst: fire-and-forget eight auths, then collect all replies.
+    let burst = 8u64;
+    for i in 0..burst {
+        client
+            .send(&auth_request(tenant, 1, i, 1_000 + i * 8))
+            .expect("send");
+    }
+    let mut decided = 0u64;
+    let mut overloaded = 0u64;
+    for _ in 0..burst {
+        let resp = client.recv().expect("recv");
+        match resp.status {
+            Status::Accepted | Status::Rejected => decided += 1,
+            Status::Overloaded => {
+                overloaded += 1;
+                assert!(
+                    resp.reason.contains("admission queue full"),
+                    "overload reason names the policy: {}",
+                    resp.reason
+                );
+            }
+            s => panic!("unexpected status {s:?}: {}", resp.reason),
+        }
+    }
+    assert!(decided >= 1, "the admitted request still gets a decision");
+    assert!(
+        overloaded >= 1,
+        "a burst of {burst} against a 1-deep queue must shed"
+    );
+
+    // The shed decisions are auditable: the global log holds Overloaded
+    // verdicts whose reasons name this tenant.
+    let shed_audits = echo_obs::take_audits()
+        .into_iter()
+        .filter(|a| a.verdict == echo_obs::AuthVerdict::Overloaded)
+        .filter(|a| a.reject_reason.contains(&format!("tenant {tenant}")))
+        .count() as u64;
+    assert_eq!(shed_audits, overloaded, "one audit per shed request");
+
+    server.shutdown();
+}
+
+#[test]
+fn enrol_while_authenticating_never_errors() {
+    let tenant = 33u64;
+    let server = ServerHandle::start(ServeConfig::default(), BindAddr::Tcp("127.0.0.1:0".into()))
+        .expect("bind tcp socket");
+    let addr = server.local_addr().expect("tcp addr");
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    enroll(&mut client, tenant, 1, 20);
+
+    // One thread authenticates user 1 in a tight loop while the main
+    // thread enrols user 2 (a full SVDD retrain and snapshot swap).
+    // Every auth must land on a coherent snapshot: decided before the
+    // swap against user 1 alone, or after it against both — never an
+    // error, never a torn model.
+    let auth_thread = std::thread::spawn(move || {
+        let mut accepted = 0u32;
+        for i in 0..24u64 {
+            let resp = client
+                .call(&auth_request(tenant, 1, 100 + i, 2_000 + i * 8))
+                .expect("auth during enrol");
+            match resp.status {
+                Status::Accepted => accepted += 1,
+                Status::Rejected => {}
+                s => panic!("auth during enrol returned {s:?}: {}", resp.reason),
+            }
+        }
+        accepted
+    });
+
+    let mut enrol_client = Client::connect_tcp(addr).expect("second connection");
+    enroll(&mut enrol_client, tenant, 2, 20);
+    let accepted = auth_thread.join().expect("auth thread");
+    assert!(accepted > 0, "user 1 kept authenticating through the swap");
+
+    // The new snapshot serves both users.
+    for user in [1u64, 2] {
+        let resp = enrol_client
+            .call(&auth_request(tenant, user, 300 + user, 5_000))
+            .expect("auth after enrol");
+        assert_eq!(
+            resp.status,
+            Status::Accepted,
+            "user {user} after swap: {}",
+            resp.reason
+        );
+    }
+    server.shutdown();
+}

@@ -90,6 +90,20 @@ pub fn read_wav<P: AsRef<Path>>(path: P, preroll: usize) -> io::Result<BeepCaptu
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    // Checked little-endian field readers: a short file is a typed
+    // `InvalidData` naming the byte offset, never an indexing panic.
+    let le_u16 = |o: usize| -> io::Result<u16> {
+        match bytes.get(o..o + 2) {
+            Some(s) => Ok(u16::from_le_bytes([s[0], s[1]])),
+            None => Err(bad(&format!("truncated WAV: 2-byte field at offset {o}"))),
+        }
+    };
+    let le_u32 = |o: usize| -> io::Result<u32> {
+        match bytes.get(o..o + 4) {
+            Some(s) => Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]])),
+            None => Err(bad(&format!("truncated WAV: 4-byte field at offset {o}"))),
+        }
+    };
     if bytes.len() < 44 || &bytes[..4] != b"RIFF" || &bytes[8..12] != b"WAVE" {
         return Err(bad("not a RIFF/WAVE file"));
     }
@@ -99,28 +113,34 @@ pub fn read_wav<P: AsRef<Path>>(path: P, preroll: usize) -> io::Result<BeepCaptu
     let mut sample_rate = 0u32;
     let mut bits = 0u16;
     let mut saw_fmt = false;
-    let mut data: Option<&[u8]> = None;
+    let mut data: Option<std::ops::Range<usize>> = None;
     while pos + 8 <= bytes.len() {
         let id = &bytes[pos..pos + 4];
-        let len = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
-        let body = bytes
-            .get(pos + 8..pos + 8 + len)
-            .ok_or_else(|| bad("truncated chunk"))?;
+        let len = le_u32(pos + 4)? as usize;
+        if bytes.get(pos + 8..pos + 8 + len).is_none() {
+            return Err(bad(&format!(
+                "truncated chunk at offset {pos}: header claims {len} bytes, \
+                 file holds {}",
+                bytes.len() - pos - 8
+            )));
+        }
         match id {
             b"fmt " => {
                 if len < 16 {
-                    return Err(bad("short fmt chunk"));
+                    return Err(bad(&format!(
+                        "short fmt chunk at offset {pos} ({len} bytes)"
+                    )));
                 }
-                let format = u16::from_le_bytes(body[0..2].try_into().unwrap());
+                let format = le_u16(pos + 8)?;
                 if format != 1 {
                     return Err(bad("only PCM WAV is supported"));
                 }
                 saw_fmt = true;
-                channels = u16::from_le_bytes(body[2..4].try_into().unwrap());
-                sample_rate = u32::from_le_bytes(body[4..8].try_into().unwrap());
-                bits = u16::from_le_bytes(body[14..16].try_into().unwrap());
+                channels = le_u16(pos + 10)?;
+                sample_rate = le_u32(pos + 12)?;
+                bits = le_u16(pos + 22)?;
             }
-            b"data" => data = Some(body),
+            b"data" => data = Some(pos + 8..pos + 8 + len),
             _ => {}
         }
         pos += 8 + len + (len & 1);
@@ -137,7 +157,7 @@ pub fn read_wav<P: AsRef<Path>>(path: P, preroll: usize) -> io::Result<BeepCaptu
     if sample_rate == 0 || sample_rate > MAX_WAV_SAMPLE_RATE {
         return Err(bad("sample rate out of the supported range"));
     }
-    let data = data.ok_or_else(|| bad("missing data chunk"))?;
+    let data = &bytes[data.ok_or_else(|| bad("missing data chunk"))?];
     let frame = channels as usize * 2;
     if !data.len().is_multiple_of(frame) {
         return Err(bad("data chunk is not a whole number of frames"));
@@ -147,7 +167,7 @@ pub fn read_wav<P: AsRef<Path>>(path: P, preroll: usize) -> io::Result<BeepCaptu
     for t in 0..n {
         for (ch, channel) in out.iter_mut().enumerate() {
             let o = t * frame + ch * 2;
-            let q = i16::from_le_bytes(data[o..o + 2].try_into().unwrap());
+            let q = i16::from_le_bytes([data[o], data[o + 1]]);
             channel.push(q as f64 / i16::MAX as f64);
         }
     }

@@ -64,12 +64,13 @@ tasks:
 /// The kernel latencies the regression gate holds. Deliberately the
 /// low-variance single-kernel timings — end-to-end stage timings and
 /// the naive-reference baselines wander too much on shared runners.
-const GATED_METRICS: [&str; 5] = [
+const GATED_METRICS: [&str; 6] = [
     "single_image.gemm_ns",
     "single_image.gemm_scratch_ns",
     "matched_filter.packed_ns",
     "matched_filter.planned_ns",
     "stage.distance.mean_ns",
+    "serve.p99_ns",
 ];
 
 /// One gate step: display name, cargo arguments, extra environment.
@@ -174,6 +175,25 @@ fn ci() {
             &[],
         ),
         ("bench build", &["bench", "--no-run", "--workspace"], &[]),
+        // Serve smoke: an in-process daemon replays 200 sessions; the
+        // bin itself exits non-zero on any request error, missing p99,
+        // or panic, so passing here means the serving path answered
+        // every request with a typed decision.
+        (
+            "serve smoke (200-session load test)",
+            &[
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "echo-serve",
+                "--bin",
+                "load_test",
+                "--",
+                "--quick",
+            ],
+            &[],
+        ),
     ];
     for (name, args, envs) in tail {
         run(name, args, envs);

@@ -166,7 +166,9 @@ fn decode_audit(doc: &Json, lineno: usize) -> Result<Audit, String> {
             .map(|v| v as u64),
         retry_index: field_u64(doc, "retry_index", lineno)?,
         degraded_mask: field_u64(doc, "degraded_mask", lineno)?,
-        rejected: field_str(doc, "verdict", lineno)? == "rejected",
+        // Anything that is not an accept counts as a failed attempt —
+        // biometric rejects and serving-layer `overloaded` sheds alike.
+        rejected: field_str(doc, "verdict", lineno)? != "accepted",
         reject_reason: field_str(doc, "reject_reason", lineno)?,
     })
 }

@@ -14,7 +14,10 @@
 //! simulated train with the observability layer enabled and reports the
 //! per-stage latency breakdown plus cache hit rates. A fourth runs the
 //! `echo-serve` daemon in-process under a fixed load and records the
-//! micro-batched end-to-end p99 (`serve.p99_ns`, also gated).
+//! micro-batched end-to-end p99 (`serve.p99_ns`, also gated). A fifth
+//! builds a 65k-user synthetic template shard and records the mmap
+//! candidate-lookup p99 (`store.lookup_p99_ns`, also gated) — the
+//! million-user version lives in `store_bench`.
 //!
 //! Writes `BENCH_features.json` at the repository root so successive
 //! PRs accumulate a perf trajectory. `--quick` shrinks iteration counts
@@ -351,6 +354,72 @@ fn main() {
         serve_report.mean_batch.unwrap_or(0.0),
     );
 
+    // ── template store: candidate lookup at scale ────────────────────
+    // Same population in quick and full mode, for the same reason as
+    // the serve section: `store.lookup_p99_ns` gates regressions in the
+    // prefilter and shard reader, not configuration drift.
+    echo_obs::reset();
+    let store_users = 65_536usize;
+    let store_probes = 2_000usize;
+    let store_dir = std::env::temp_dir().join(format!("echo-feature-bench-{}", std::process::id()));
+    run_or_exit(
+        std::fs::create_dir_all(&store_dir).map_err(|e| e.to_string()),
+        "store bench: tmp dir",
+    );
+    let t0 = Instant::now();
+    let mut writer = echoimage_core::store::ShardWriter::new(&echo_bench::storegen::scaler());
+    for t in echo_bench::storegen::population(store_users) {
+        run_or_exit(writer.push(t), "store bench: push template");
+    }
+    let shard_path = store_dir.join("shard-000000.echoshard");
+    run_or_exit(writer.write_to(&shard_path), "store bench: write shard");
+    let store_build_ms = t0.elapsed().as_millis();
+    let shard_bytes = std::fs::metadata(&shard_path).map(|m| m.len()).unwrap_or(0);
+    let store = run_or_exit(
+        echoimage_core::store::ShardStore::open_dir(&store_dir),
+        "store bench: open shard dir",
+    );
+    use echoimage_core::store::TemplateStore as _;
+    // Exact order statistics over the sorted sample (nearest-rank).
+    let pct = |v: &[u64], p: f64| v[(((v.len() as f64) * p).ceil() as usize).clamp(1, v.len()) - 1];
+    // Each probe is timed `store_reps` times and keeps its fastest run,
+    // and the percentiles are taken over those per-probe minima — like
+    // the kernel sections' best-of-reps, so one scheduler preemption
+    // can't masquerade as a tail regression. The structural tail (the
+    // probes that land in big cells) is exactly what survives.
+    let store_reps = 3usize;
+    let mut cand_total = 0usize;
+    let mut lookup_ns: Vec<u64> = vec![u64::MAX; store_probes];
+    for _ in 0..store_reps {
+        for i in 0..store_probes as u64 {
+            let user = echo_bench::storegen::splitmix(i) % store_users as u64;
+            let xq: Vec<f32> = echo_bench::storegen::probe(user, 9_000 + i)
+                .iter()
+                .map(|&v| v as f32)
+                .collect();
+            let t = Instant::now();
+            let cands = store.candidates(&xq, 16);
+            let ns = t.elapsed().as_nanos() as u64;
+            lookup_ns[i as usize] = lookup_ns[i as usize].min(ns);
+            cand_total += cands.len();
+        }
+    }
+    lookup_ns.sort_unstable();
+    let store_lookup_p50_ns = pct(&lookup_ns, 0.50);
+    let store_lookup_p99_ns = pct(&lookup_ns, 0.99);
+    sink += cand_total as f64;
+    let _ = std::fs::remove_dir_all(&store_dir);
+    println!(
+        "\ntemplate store ({store_users} users, mmap shard, \
+         {store_probes} top-16 lookups × {store_reps} reps):"
+    );
+    println!(
+        "  shard {:.1} MB built in {store_build_ms} ms   lookup p50 {:.1} µs   p99 {:.1} µs",
+        shard_bytes as f64 / 1e6,
+        store_lookup_p50_ns as f64 / 1e3,
+        store_lookup_p99_ns as f64 / 1e3,
+    );
+
     // ── artefact ─────────────────────────────────────────────────────
     let batch_json: Vec<String> = batch_rows
         .iter()
@@ -368,6 +437,10 @@ fn main() {
          \"speedup_vs_unplanned\": {:.2}\n  }},\n  \
          \"stage\": {{\n    \"distance\": {{\"mean_ns\": {distance_mean_ns:.0}}}\n  }},\n  \
          \"serve\": {{\n    \"p99_ns\": {serve_p99_ns}\n  }},\n  \
+         \"store\": {{\n    \"users\": {store_users},\n    \
+         \"shard_bytes\": {shard_bytes},\n    \
+         \"lookup_p50_ns\": {store_lookup_p50_ns},\n    \
+         \"lookup_p99_ns\": {store_lookup_p99_ns}\n  }},\n  \
          \"stages\": [\n{}\n  ],\n  \
          \"caches\": [\n{}\n  ]\n}}\n",
         echo_obs::escape_json(&simd_requested),

@@ -8,6 +8,8 @@
 use echo_eval::metrics::AuthMetrics;
 use std::path::PathBuf;
 
+pub mod storegen;
+
 /// Parses the common `--quick` flag (reduced counts for smoke runs).
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")

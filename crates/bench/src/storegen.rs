@@ -1,0 +1,163 @@
+//! Deterministic synthetic template populations for the store benches.
+//!
+//! The template-store benches (`feature_bench`'s store section and
+//! `store_bench`) need populations far beyond what SVDD training can
+//! produce in bench time, so users here are hash-generated: each user
+//! gets a centroid drawn from a splitmix64 stream and a single
+//! analytically-constructed SVDD gate whose one support vector *is*
+//! that centroid. The gate margin is then `exp(-γ·d²) − ρ` — strictly
+//! decreasing in the probe's distance to the centroid — which buys two
+//! properties the benches lean on:
+//!
+//! * **Separation**: uniform centroids in `[0, 100)^16` put the nearest
+//!   impostor tens of units away even at a million users, so a probe
+//!   jittered ±0.1 around its owner's centroid accepts exactly one
+//!   user.
+//! * **Structural parity**: the best margin is always the nearest
+//!   centroid, and the prefilter ranks by centroid distance, so the
+//!   prefiltered decision provably matches the exhaustive oracle —
+//!   any disagreement the parity suite finds is a real index bug, not
+//!   synthetic-data noise.
+//!
+//! Everything is a pure function of `(user, variant)`: no RNG state,
+//! bit-identical across runs, threads and machines.
+
+use echo_ml::StandardScaler;
+use echoimage_core::store::{GateTemplate, UserTemplate};
+use std::sync::Arc;
+
+/// Feature dimensionality of every synthetic template.
+pub const DIM: usize = 16;
+
+/// Probe jitter half-range per coordinate (scaled units).
+pub const JITTER: f64 = 0.1;
+
+/// splitmix64: the finalizer used throughout the repo for seeded
+/// synthetic data.
+pub fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform float in `[0, 1)` from a hash word (top 53 bits).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The user's exact (f64) centroid, uniform in `[0, 100)^DIM`.
+pub fn centroid_f64(user: u64) -> Vec<f64> {
+    (0..DIM as u64)
+        .map(|d| unit(splitmix(user.wrapping_mul(0x0517_CC1B_7272_2A95) ^ d)) * 100.0)
+        .collect()
+}
+
+/// The user's identification template: quantized centroid plus one
+/// single-support-vector gate centred on it. `salt` perturbs the gate's
+/// support vector and the centroid — two templates for the same user
+/// with different salts model a re-enrolment (the newest-shard-wins
+/// suites rely on salt 1 being distinguishable from salt 0).
+pub fn template_salted(user: u64, salt: u64) -> Arc<UserTemplate> {
+    let mut c = centroid_f64(user);
+    if salt != 0 {
+        // Shift the re-enrolled centroid far enough that probes against
+        // the old one reject: 3 units per coordinate >> the ln2/γ
+        // acceptance radius.
+        for v in &mut c {
+            *v += 3.0 * salt as f64;
+        }
+    }
+    Arc::new(UserTemplate {
+        user_id: user,
+        centroid: c.iter().map(|&v| v as f32).collect(),
+        gates: vec![GateTemplate {
+            gamma: 0.5,
+            rho: 0.5,
+            threshold: 0.0,
+            coefficients: vec![1.0],
+            support: c,
+        }],
+    })
+}
+
+/// The user's first-enrolment template.
+pub fn template(user: u64) -> Arc<UserTemplate> {
+    template_salted(user, 0)
+}
+
+/// `n` first-enrolment templates for users `0..n`.
+pub fn population(n: usize) -> Vec<Arc<UserTemplate>> {
+    (0..n as u64).map(template).collect()
+}
+
+/// The identity scaler all synthetic templates are "scaled" by.
+pub fn scaler() -> StandardScaler {
+    StandardScaler::from_parts(vec![0.0; DIM], vec![1.0; DIM])
+}
+
+/// One probe feature vector for `user`: their exact centroid jittered
+/// by ±[`JITTER`] per coordinate, deterministic in `(user, variant)`.
+pub fn probe(user: u64, variant: u64) -> Vec<f64> {
+    centroid_f64(user)
+        .into_iter()
+        .enumerate()
+        .map(|(d, v)| {
+            let h = splitmix(
+                user.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ variant.rotate_left(17) ^ d as u64,
+            );
+            v + (unit(h) - 0.5) * 2.0 * JITTER
+        })
+        .collect()
+}
+
+/// A `beeps`-long probe train for `user` (variants `first..first+beeps`).
+pub fn probe_train(user: u64, first_variant: u64, beeps: usize) -> Vec<Vec<f64>> {
+    (0..beeps as u64)
+        .map(|b| probe(user, first_variant + b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use echoimage_core::store::{identify, IdentifyConfig, MemoryStore, TemplateStore};
+
+    #[test]
+    fn probes_accept_their_owner_and_nobody_else() {
+        let store = MemoryStore::from_templates(&scaler(), population(512)).unwrap();
+        for user in [0u64, 7, 511] {
+            let train = probe_train(user, 40, 3);
+            match identify(&store, &train, &IdentifyConfig::default()).unwrap() {
+                echoimage_core::AuthDecision::Accepted { user_id } => {
+                    assert_eq!(user_id as u64, user);
+                }
+                d => panic!("user {user} not identified: {d:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn salted_template_moves_the_acceptance_region() {
+        let t0 = template_salted(3, 0);
+        let t1 = template_salted(3, 1);
+        assert_ne!(t0.centroid, t1.centroid);
+        // A probe at the original centroid accepts salt 0, rejects
+        // salt 1.
+        let x = centroid_f64(3);
+        assert!(t0.margin(DIM, &x) >= 0.0);
+        assert!(t1.margin(DIM, &x) < 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(centroid_f64(99), centroid_f64(99));
+        assert_eq!(probe(4, 11), probe(4, 11));
+        assert_ne!(probe(4, 11), probe(4, 12));
+        let s = scaler();
+        assert_eq!(s.dim(), DIM);
+        let store = MemoryStore::from_templates(&s, population(64)).unwrap();
+        assert_eq!(store.user_count(), 64);
+    }
+}

@@ -229,81 +229,13 @@ impl Authenticator {
             .flat_map(|(_, gs)| gs.iter().map(|g| scaler.transform_batch(g)))
             .collect();
 
-        // Per-(user, group) kernel width. A group that is the user's only
-        // mode is sized by its internal spread. When a user has several
-        // modes (e.g. §V-F synthesised distance clouds), each mode's
-        // radius additionally covers a fraction of the spacing to the
-        // nearest sibling mode: the modes are samples along a continuum
-        // (distance), and authentication-time features fall *between*
-        // them, not on them.
-        let group_gamma = |user_groups: &[Vec<Vec<f64>>], idx: usize| -> Kernel {
-            if let Some(g) = config.gamma {
-                return Kernel::Rbf { gamma: g };
-            }
-            let cloud = &user_groups[idx];
-            let base = intra_rbf(std::slice::from_ref(cloud), scaler.dim());
-            let Kernel::Rbf { gamma: g_intra } = base else {
-                return base;
-            };
-            if user_groups.len() < 2 {
-                return Kernel::Rbf { gamma: g_intra };
-            }
-            let mean = |c: &Vec<Vec<f64>>| -> Vec<f64> {
-                let d = c[0].len();
-                let mut m = vec![0.0; d];
-                for x in c {
-                    for (mi, xi) in m.iter_mut().zip(x) {
-                        *mi += xi;
-                    }
-                }
-                m.iter_mut().for_each(|v| *v /= c.len() as f64);
-                m
-            };
-            let own = mean(cloud);
-            let spacing2 = user_groups
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != idx)
-                .map(|(_, other)| {
-                    let om = mean(other);
-                    own.iter()
-                        .zip(&om)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum::<f64>()
-                })
-                .fold(f64::INFINITY, f64::min);
-            // Radius covers the full gap to the nearest sibling mode:
-            // empirically the residual between a synthesised mode and
-            // the real capture it stands in for is of the same order as
-            // the displacement between neighbouring modes.
-            let g_spacing = 1.0 / (GAMMA_WIDENING * spacing2.max(1e-12));
-            Kernel::Rbf {
-                gamma: g_intra.min(g_spacing),
-            }
-        };
-
         let gates = match config.gate {
             GateMode::PerUser => {
                 let mut gates = Vec::new();
                 let mut offset = 0usize;
                 for (uid, gs) in users {
                     let user_groups = &group_clouds[offset..offset + gs.len()];
-                    for (idx, cloud) in user_groups.iter().enumerate() {
-                        let svm =
-                            OneClassSvm::train(cloud, group_gamma(user_groups, idx), config.nu);
-                        // Self-calibrate against sibling modes.
-                        let mut sibling_scores: Vec<f64> = user_groups
-                            .iter()
-                            .enumerate()
-                            .filter(|(j, _)| *j != idx)
-                            .flat_map(|(_, other)| other.iter().map(|x| svm.decision(x)))
-                            .collect();
-                        let threshold = if sibling_scores.is_empty() {
-                            0.0
-                        } else {
-                            sibling_scores.sort_by(f64::total_cmp);
-                            sibling_scores[(sibling_scores.len() * 3) / 4].min(0.0)
-                        };
+                    for (svm, threshold) in train_user_gates(user_groups, scaler.dim(), config) {
                         gates.push((svm, threshold, *uid));
                     }
                     offset += gs.len();
@@ -763,6 +695,20 @@ impl Authenticator {
         Err(last)
     }
 
+    /// The fitted feature scaler, for exporting the model into the
+    /// template store (which freezes it across incremental enrolments).
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.scaler
+    }
+
+    /// The trained spoofer gates as `(svm, threshold, owner)` triples —
+    /// the raw material [`crate::store`] serializes into per-user
+    /// templates. Owner is `usize::MAX` for the user-agnostic pooled
+    /// gate.
+    pub fn gates(&self) -> &[(OneClassSvm, f64, usize)] {
+        &self.gates
+    }
+
     /// Registered user ids.
     pub fn user_ids(&self) -> Vec<usize> {
         match (&self.classifier, self.single_user) {
@@ -791,6 +737,100 @@ impl Default for RetryPolicy {
     fn default() -> Self {
         RetryPolicy { max_attempts: 2 }
     }
+}
+
+/// Trains one user's per-group SVDD gates from already-scaled enrolment
+/// groups, returning `(svm, threshold)` pairs in group order.
+///
+/// This is the per-user slice of [`Authenticator::enroll_with_groups`]'s
+/// gate construction, factored out so the template store can train (or
+/// retrain) a *single* user against a frozen scaler without touching
+/// anyone else's model. The per-(user, group) kernel width works as
+/// follows: a group that is the user's only mode is sized by its
+/// internal spread; when a user has several modes (e.g. §V-F
+/// synthesised distance clouds), each mode's radius additionally covers
+/// the spacing to the nearest sibling mode — the modes are samples
+/// along a continuum (distance), and authentication-time features fall
+/// *between* them, not on them. Thresholds are self-calibrated to the
+/// upper-quartile score the user's sibling modes achieve under each
+/// gate (0 for single-mode users).
+///
+/// # Panics
+///
+/// Panics if any group is empty (the enrolment entry points validate
+/// this before scaling).
+pub fn train_user_gates(
+    user_groups: &[Vec<Vec<f64>>],
+    dim: usize,
+    config: &AuthConfig,
+) -> Vec<(OneClassSvm, f64)> {
+    let group_gamma = |idx: usize| -> Kernel {
+        if let Some(g) = config.gamma {
+            return Kernel::Rbf { gamma: g };
+        }
+        let cloud = &user_groups[idx];
+        let base = intra_rbf(std::slice::from_ref(cloud), dim);
+        let Kernel::Rbf { gamma: g_intra } = base else {
+            return base;
+        };
+        if user_groups.len() < 2 {
+            return Kernel::Rbf { gamma: g_intra };
+        }
+        let mean = |c: &Vec<Vec<f64>>| -> Vec<f64> {
+            let d = c[0].len();
+            let mut m = vec![0.0; d];
+            for x in c {
+                for (mi, xi) in m.iter_mut().zip(x) {
+                    *mi += xi;
+                }
+            }
+            m.iter_mut().for_each(|v| *v /= c.len() as f64);
+            m
+        };
+        let own = mean(cloud);
+        let spacing2 = user_groups
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != idx)
+            .map(|(_, other)| {
+                let om = mean(other);
+                own.iter()
+                    .zip(&om)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min);
+        // Radius covers the full gap to the nearest sibling mode:
+        // empirically the residual between a synthesised mode and
+        // the real capture it stands in for is of the same order as
+        // the displacement between neighbouring modes.
+        let g_spacing = 1.0 / (GAMMA_WIDENING * spacing2.max(1e-12));
+        Kernel::Rbf {
+            gamma: g_intra.min(g_spacing),
+        }
+    };
+
+    user_groups
+        .iter()
+        .enumerate()
+        .map(|(idx, cloud)| {
+            let svm = OneClassSvm::train(cloud, group_gamma(idx), config.nu);
+            // Self-calibrate against sibling modes.
+            let mut sibling_scores: Vec<f64> = user_groups
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != idx)
+                .flat_map(|(_, other)| other.iter().map(|x| svm.decision(x)))
+                .collect();
+            let threshold = if sibling_scores.is_empty() {
+                0.0
+            } else {
+                sibling_scores.sort_by(f64::total_cmp);
+                sibling_scores[(sibling_scores.len() * 3) / 4].min(0.0)
+            };
+            (svm, threshold)
+        })
+        .collect()
 }
 
 /// Kernel-width safety margin: authentication-time samples sit a little

@@ -20,6 +20,9 @@ pub enum EchoImageError {
     InconsistentCaptures,
     /// A parameter was out of its valid range.
     InvalidParameter(&'static str),
+    /// The template store failed (shard I/O, corruption, or a
+    /// non-representable template).
+    Store(crate::store::StoreError),
     /// Health screening left fewer microphones than degraded-mode
     /// imaging needs — the capture must be rejected (and retried).
     DegradedCapture {
@@ -48,6 +51,7 @@ impl fmt::Display for EchoImageError {
                 write!(f, "no body echo detected in the echo period")
             }
             EchoImageError::Beamforming(e) => write!(f, "beamforming failed: {e}"),
+            EchoImageError::Store(e) => write!(f, "template store failed: {e}"),
             EchoImageError::InconsistentCaptures => {
                 write!(
                     f,
@@ -76,6 +80,7 @@ impl Error for EchoImageError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             EchoImageError::Beamforming(e) => Some(e),
+            EchoImageError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -84,5 +89,11 @@ impl Error for EchoImageError {
 impl From<echo_beamform::BeamformError> for EchoImageError {
     fn from(e: echo_beamform::BeamformError) -> Self {
         EchoImageError::Beamforming(e)
+    }
+}
+
+impl From<crate::store::StoreError> for EchoImageError {
+    fn from(e: crate::store::StoreError) -> Self {
+        EchoImageError::Store(e)
     }
 }

@@ -54,6 +54,7 @@ pub mod imaging;
 pub mod par;
 pub mod pipeline;
 pub mod steering_cache;
+pub mod store;
 pub mod template_cache;
 
 pub use auth::{AuthDecision, Authenticator, RetryPolicy};

@@ -1,0 +1,149 @@
+//! Read-only memory mapping without a libc crate dependency.
+//!
+//! The workspace is dependency-free, so the mmap-backed reader declares
+//! the two syscall wrappers it needs (`mmap`/`munmap`) directly against
+//! the platform C library. The map is `PROT_READ | MAP_PRIVATE`: the
+//! kernel pages template data in on demand and shares clean pages
+//! across processes, which is what makes a million-user shard open in
+//! microseconds instead of reading hundreds of megabytes up front.
+//!
+//! On non-unix or big-endian targets [`mmap_available`] is `false` and
+//! the portable heap reader ([`super::shard::HeapShard`]) is used
+//! instead; nothing in this module is compiled where it cannot work.
+
+#[cfg(unix)]
+mod imp {
+    use std::fs::File;
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+    use std::ptr::NonNull;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        // `off_t` is 64-bit on every tier-1 unix target we build for.
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// A read-only, privately mapped view of an entire file.
+    #[derive(Debug)]
+    pub struct MmapRegion {
+        ptr: NonNull<u8>,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only for its whole lifetime; the
+    // kernel keeps the pages valid until `munmap` in `Drop`, so shared
+    // references to the bytes are sound from any thread.
+    unsafe impl Send for MmapRegion {}
+    unsafe impl Sync for MmapRegion {}
+
+    impl MmapRegion {
+        /// Maps the whole of `file` read-only.
+        ///
+        /// # Errors
+        ///
+        /// Any metadata or `mmap(2)` failure, and `InvalidInput` for an
+        /// empty file (zero-length maps are undefined per POSIX).
+        pub fn map(file: &File) -> io::Result<Self> {
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "cannot map an empty file",
+                ));
+            }
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large"))?;
+            // SAFETY: requesting a fresh read-only private mapping of a
+            // file descriptor we own; the kernel picks the address.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            let ptr = NonNull::new(ptr as *mut u8)
+                .ok_or_else(|| io::Error::other("mmap returned null"))?;
+            Ok(MmapRegion { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: `ptr` spans exactly `len` readable bytes until
+            // `Drop` unmaps them.
+            unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+        }
+    }
+
+    impl Drop for MmapRegion {
+        fn drop(&mut self) {
+            // SAFETY: unmapping exactly what `map` mapped; errors are
+            // unreachable for a valid region and ignored in Drop.
+            unsafe {
+                munmap(self.ptr.as_ptr() as *mut c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use imp::MmapRegion;
+
+/// `true` when the mmap-backed zero-copy reader can be used on this
+/// target: it needs unix `mmap(2)` and a little-endian CPU (the wire
+/// format is little-endian and the mapped reader casts in place).
+pub fn mmap_available() -> bool {
+    cfg!(unix) && cfg!(target_endian = "little")
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir().join("echoimage-mmap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("map-{}.bin", std::process::id()));
+        let payload: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let region = MmapRegion::map(&file).unwrap();
+        assert_eq!(region.bytes(), &payload[..]);
+        drop(region);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_is_rejected() {
+        let dir = std::env::temp_dir().join("echoimage-mmap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("empty-{}.bin", std::process::id()));
+        std::fs::File::create(&path).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        assert!(MmapRegion::map(&file).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

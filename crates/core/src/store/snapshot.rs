@@ -1,0 +1,306 @@
+//! Snapshots and lock-free reads.
+//!
+//! Re-enrolment never rewrites existing shards: it appends a new shard
+//! (or rebuilds an in-memory store) and publishes the result as a fresh
+//! immutable snapshot through a [`StoreHandle`]. Publication is one
+//! `Arc` pointer swap guarded by a mutex that **only writers take**;
+//! readers in flight keep the snapshot they started with, and
+//! steady-state readers are served from a thread-local cache that they
+//! revalidate with a single atomic epoch load — no lock, no contended
+//! cache line, no reference-count ping-pong between threads.
+//!
+//! [`ShardStore`] is the multi-shard snapshot: an ordered list of
+//! immutable shards where the **newest shard wins** for any user id
+//! present in several (that is what makes append-only re-enrolment
+//! correct).
+
+use super::shard::Shard;
+use super::{Candidate, StoreError, TemplateStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A read-only snapshot over one or more shards, oldest first.
+#[derive(Debug)]
+pub struct ShardStore {
+    shards: Vec<Shard>,
+    dim: usize,
+    /// Distinct users across all shards (newest-wins dedup).
+    distinct_users: usize,
+}
+
+impl ShardStore {
+    /// Wraps already-opened shards (oldest first — later shards shadow
+    /// earlier ones).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidTemplate`] when no shard is given and
+    /// [`StoreError::Corrupt`] when shards disagree on dimensionality
+    /// or scaler (bit-compared: every shard of a store must have been
+    /// written under the same frozen scaler).
+    pub fn from_shards(shards: Vec<Shard>) -> Result<Self, StoreError> {
+        let first = shards.first().ok_or(StoreError::InvalidTemplate(
+            "a shard store needs at least one shard",
+        ))?;
+        let dim = first.dim();
+        let same_bits = |a: &[f64], b: &[f64]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        for s in &shards[1..] {
+            if s.dim() != dim {
+                return Err(StoreError::Corrupt {
+                    offset: 0,
+                    what: "shards disagree on feature dimensionality",
+                });
+            }
+            if !same_bits(s.means(), first.means()) || !same_bits(s.stds(), first.stds()) {
+                return Err(StoreError::Corrupt {
+                    offset: 0,
+                    what: "shards disagree on the frozen scaler",
+                });
+            }
+        }
+        let distinct_users = merged_ids(&shards).len();
+        Ok(ShardStore {
+            shards,
+            dim,
+            distinct_users,
+        })
+    }
+
+    /// Opens every `*.echoshard` file under `dir` (sorted by file name,
+    /// so `shard-000001.echoshard` < `shard-000002.echoshard` gives the
+    /// append order) and wraps them as one store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] listing the directory, any open error, or the
+    /// [`ShardStore::from_shards`] validation errors.
+    pub fn open_dir(dir: &std::path::Path) -> Result<Self, StoreError> {
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| StoreError::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "echoshard"))
+            .collect();
+        paths.sort();
+        let shards = paths
+            .iter()
+            .map(|p| Shard::open(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::from_shards(shards)
+    }
+
+    /// The shards, oldest first.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+}
+
+/// Merged distinct user ids across shards, ascending.
+fn merged_ids(shards: &[Shard]) -> Vec<u64> {
+    let mut ids: Vec<u64> = shards
+        .iter()
+        .flat_map(|s| s.ids().iter().copied())
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+impl TemplateStore for ShardStore {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn user_count(&self) -> usize {
+        self.distinct_users
+    }
+
+    fn scaler_means(&self) -> &[f64] {
+        self.shards[0].means()
+    }
+
+    fn scaler_stds(&self) -> &[f64] {
+        self.shards[0].stds()
+    }
+
+    fn candidates(&self, probe: &[f32], k: usize) -> Vec<Candidate> {
+        // Newest shard first: when a re-enrolled user appears in
+        // several shards' top-k, the newest centroid's distance is the
+        // one that ranks them.
+        let mut out: Vec<Candidate> = Vec::new();
+        for shard in self.shards.iter().rev() {
+            let ids = shard.ids();
+            for (m, d2) in shard.candidates(probe, k) {
+                let user_id = ids[m as usize];
+                if !out.iter().any(|c| c.user_id == user_id) {
+                    out.push(Candidate { user_id, d2 });
+                }
+            }
+        }
+        out.sort_by(|a, b| a.d2.total_cmp(&b.d2).then(a.user_id.cmp(&b.user_id)));
+        out.truncate(k);
+        out
+    }
+
+    fn gate_margin(&self, user_id: u64, x: &[f64]) -> Option<f64> {
+        for shard in self.shards.iter().rev() {
+            if let Some(i) = shard.find(user_id) {
+                return Some(shard.margin_by_index(i, x));
+            }
+        }
+        None
+    }
+
+    fn user_ids(&self) -> Vec<u64> {
+        merged_ids(&self.shards)
+    }
+}
+
+static NEXT_HANDLE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One thread's cached snapshot: `(handle id, epoch, snapshot)`.
+type CachedSnapshot = Option<(u64, u64, Arc<dyn TemplateStore>)>;
+
+thread_local! {
+    /// One-slot snapshot cache per thread.
+    static CACHED: std::cell::RefCell<CachedSnapshot> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The published-snapshot cell readers and writers share.
+///
+/// `load` is wait-free in the steady state: one atomic epoch read plus
+/// a thread-local compare. The slot mutex is touched only when the
+/// epoch moved (a reload was published) or the thread has never read
+/// this handle — and by `publish`, which swaps one `Arc`.
+pub struct StoreHandle {
+    id: u64,
+    epoch: AtomicU64,
+    slot: Mutex<Arc<dyn TemplateStore>>,
+}
+
+impl std::fmt::Debug for StoreHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreHandle")
+            .field("id", &self.id)
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl StoreHandle {
+    /// A handle initially publishing `snapshot`.
+    pub fn new(snapshot: Arc<dyn TemplateStore>) -> Self {
+        StoreHandle {
+            id: NEXT_HANDLE_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: AtomicU64::new(0),
+            slot: Mutex::new(snapshot),
+        }
+    }
+
+    /// The current snapshot. Readers hold the returned `Arc` for the
+    /// whole request; a concurrent [`StoreHandle::publish`] never
+    /// invalidates it.
+    pub fn load(&self) -> Arc<dyn TemplateStore> {
+        // Epoch first, then the slot: if a publish lands in between we
+        // cache tomorrow's snapshot under yesterday's epoch, which the
+        // next load simply refreshes — stale by at most one swap, and
+        // never the other way round.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let cached = CACHED.with(|c| {
+            c.borrow()
+                .as_ref()
+                .and_then(|(id, e, arc)| (*id == self.id && *e == epoch).then(|| Arc::clone(arc)))
+        });
+        if let Some(arc) = cached {
+            return arc;
+        }
+        let arc = Arc::clone(&self.slot.lock().unwrap());
+        CACHED.with(|c| *c.borrow_mut() = Some((self.id, epoch, Arc::clone(&arc))));
+        arc
+    }
+
+    /// Publishes a new snapshot: one pointer swap, then an epoch bump
+    /// that invalidates every thread's cache on its next load.
+    pub fn publish(&self, snapshot: Arc<dyn TemplateStore>) {
+        *self.slot.lock().unwrap() = snapshot;
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Number of publishes so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthConfig;
+    use crate::store::template::{MemoryStore, TemplateBuilder};
+    use echo_ml::StandardScaler;
+
+    fn tiny_store(shift: f64) -> Arc<MemoryStore> {
+        let cloud: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![shift + (i % 5) as f64 * 0.01, (i % 4) as f64 * 0.01])
+            .collect();
+        let b = TemplateBuilder::new(StandardScaler::fit_global(&cloud), AuthConfig::default());
+        let t = Arc::new(b.build_user(1, &[cloud]).unwrap());
+        Arc::new(MemoryStore::from_templates(b.scaler(), vec![t]).unwrap())
+    }
+
+    #[test]
+    fn handle_serves_published_snapshot_and_bumps_epoch() {
+        let a = tiny_store(0.0);
+        let b = tiny_store(5.0);
+        let handle = StoreHandle::new(a.clone());
+        assert_eq!(handle.epoch(), 0);
+        let got = handle.load();
+        assert_eq!(
+            got.scaler_means()[0].to_bits(),
+            a.scaler_means()[0].to_bits()
+        );
+        // Cached load returns the same snapshot without a publish.
+        let again = handle.load();
+        assert!(Arc::ptr_eq(&got, &again));
+        handle.publish(b.clone());
+        assert_eq!(handle.epoch(), 1);
+        let got = handle.load();
+        assert_eq!(
+            got.scaler_means()[0].to_bits(),
+            b.scaler_means()[0].to_bits()
+        );
+    }
+
+    #[test]
+    fn in_flight_snapshot_survives_publish() {
+        let handle = StoreHandle::new(tiny_store(0.0));
+        let held = handle.load();
+        let before = held.scaler_means()[0];
+        handle.publish(tiny_store(9.0));
+        // The held Arc still reads the old snapshot.
+        assert_eq!(held.scaler_means()[0].to_bits(), before.to_bits());
+        // A fresh load sees the new one.
+        assert_ne!(handle.load().scaler_means()[0].to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn two_handles_do_not_cross_pollinate_caches() {
+        let h1 = StoreHandle::new(tiny_store(0.0));
+        let h2 = StoreHandle::new(tiny_store(3.0));
+        let a = h1.load();
+        let b = h2.load();
+        assert_ne!(a.scaler_means()[0].to_bits(), b.scaler_means()[0].to_bits());
+        // Re-loading h1 after h2 refreshed the thread-local must not
+        // return h2's snapshot.
+        let a2 = h1.load();
+        assert_eq!(
+            a2.scaler_means()[0].to_bits(),
+            a.scaler_means()[0].to_bits()
+        );
+    }
+}

@@ -1,0 +1,394 @@
+//! Template-store round-trip properties and corruption rejection.
+//!
+//! The exactness contract: enrolling a user, serializing their template
+//! into a shard, and identifying through either shard reader (heap
+//! decode or zero-copy mmap) must produce the *same bits* — margins and
+//! therefore `AuthDecision`s — as the in-memory store the templates
+//! came from. Quantization (f32 centroids) only ever touches prefilter
+//! ranking, and both store flavours build the identical coarse index,
+//! so even candidate sets agree exactly.
+//!
+//! The corruption half pins the failure mode of every byte of a shard:
+//! a flipped bit is a checksum mismatch, a truncation is a typed
+//! `Truncated` with the offending offset, and a doctored section is a
+//! `Corrupt` naming the violated invariant — never a panic, never a
+//! silently wrong decision.
+
+use echo_ml::StandardScaler;
+use echoimage_core::auth::AuthConfig;
+use echoimage_core::store::{
+    identify, IdentifyConfig, MemoryStore, ReaderMode, Shard, ShardStore, ShardWriter, StoreError,
+    TemplateBuilder, TemplateStore, UserTemplate,
+};
+use echoimage_core::EchoImageError;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Deterministic per-user feature cloud: users sit on well-separated
+/// centers, samples jitter tightly around them.
+fn user_cloud(user: usize, dim: usize, n: usize, salt: u64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| {
+                    let h = (i as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(salt ^ (d as u64) << 17);
+                    let jitter = ((h >> 16) & 0xFFFF) as f64 / 65536.0 - 0.5;
+                    center(user, d) + jitter * 0.3
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn center(user: usize, d: usize) -> f64 {
+    // Spread users along a deterministic lattice, 6 units apart.
+    (((user * 7 + d * 3) % 13) as f64) * 6.0 + user as f64 * 0.5
+}
+
+struct Fixture {
+    builder: TemplateBuilder,
+    templates: Vec<Arc<UserTemplate>>,
+    memory: MemoryStore,
+}
+
+fn build_fixture(n_users: usize, dim: usize, groups: usize, salt: u64) -> Fixture {
+    let clouds: Vec<Vec<Vec<Vec<f64>>>> = (0..n_users)
+        .map(|u| {
+            (0..groups)
+                .map(|g| user_cloud(u, dim, 10, salt.wrapping_add(g as u64 * 977)))
+                .collect()
+        })
+        .collect();
+    let all: Vec<Vec<f64>> = clouds.iter().flatten().flatten().cloned().collect();
+    let builder = TemplateBuilder::new(StandardScaler::fit_global(&all), AuthConfig::default());
+    let templates: Vec<Arc<UserTemplate>> = clouds
+        .iter()
+        .enumerate()
+        .map(|(u, gs)| Arc::new(builder.build_user(u as u64 + 1, gs).unwrap()))
+        .collect();
+    let memory = MemoryStore::from_templates(builder.scaler(), templates.clone()).unwrap();
+    Fixture {
+        builder,
+        templates,
+        memory,
+    }
+}
+
+fn shard_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("echoimage-store-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}.echoshard", std::process::id()))
+}
+
+fn probes_for(fx: &Fixture, dim: usize, salt: u64) -> Vec<Vec<Vec<f64>>> {
+    let mut probes = Vec::new();
+    for u in 0..fx.templates.len() {
+        // A 3-beep probe train from the user's own distribution.
+        probes.push(user_cloud(u, dim, 3, salt.wrapping_add(0xABCD)));
+    }
+    // Spoofer probes far off every lattice point.
+    probes.push(vec![vec![250.0; dim], vec![-250.0; dim], vec![333.0; dim]]);
+    probes
+}
+
+fn assert_same_decisions(
+    a: &dyn TemplateStore,
+    b: &dyn TemplateStore,
+    probes: &[Vec<Vec<f64>>],
+    cfg: &IdentifyConfig,
+) -> Result<(), TestCaseError> {
+    for (i, probe) in probes.iter().enumerate() {
+        let da = identify(a, probe, cfg).unwrap();
+        let db = identify(b, probe, cfg).unwrap();
+        prop_assert_eq!(da, db, "probe {} disagrees", i);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Satellite 3, the core property: enroll → serialize → reopen
+    /// (heap and mmap) → identify gives the same `AuthDecision` as the
+    /// in-memory path, for both the prefiltered and exhaustive modes —
+    /// and the margins themselves are bit-identical.
+    fn roundtrip_preserves_decisions(
+        n_users in 1usize..9,
+        dim in 2usize..6,
+        groups in 1usize..3,
+        salt in 0u64..500,
+    ) {
+        let fx = build_fixture(n_users, dim, groups, salt);
+        let path = shard_path(&format!("prop-{n_users}-{dim}-{groups}-{salt}"));
+        let mut w = ShardWriter::new(fx.builder.scaler());
+        for t in &fx.templates {
+            w.push(t.clone()).unwrap();
+        }
+        w.write_to(&path).unwrap();
+
+        let mut stores: Vec<ShardStore> = Vec::new();
+        stores.push(ShardStore::from_shards(vec![
+            Shard::open_with(&path, ReaderMode::Heap).unwrap(),
+        ]).unwrap());
+        if cfg!(unix) {
+            stores.push(ShardStore::from_shards(vec![
+                Shard::open_with(&path, ReaderMode::Mmap).unwrap(),
+            ]).unwrap());
+        }
+
+        let probes = probes_for(&fx, dim, salt);
+        for store in &stores {
+            // Margins are bit-identical user by user, probe by probe.
+            for probe in probes.iter().flatten() {
+                let x = fx.builder.scaler().transform(probe);
+                for id in fx.memory.user_ids() {
+                    let want = fx.memory.gate_margin(id, &x).unwrap();
+                    let got = store.gate_margin(id, &x).unwrap();
+                    prop_assert_eq!(want.to_bits(), got.to_bits(),
+                        "margin bits differ for user {}", id);
+                }
+            }
+            // And so are whole identification decisions.
+            for cfg in [
+                IdentifyConfig::default(),
+                IdentifyConfig { exhaustive: true, ..IdentifyConfig::default() },
+                IdentifyConfig { top_k: 2, exhaustive: false },
+            ] {
+                assert_same_decisions(&fx.memory, store, &probes, &cfg)?;
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Candidate sets (ids and quantized distances) agree exactly
+    /// between the in-memory index and both shard readers.
+    fn roundtrip_preserves_candidates(
+        n_users in 1usize..9,
+        dim in 2usize..5,
+        salt in 0u64..500,
+        k in 1usize..6,
+    ) {
+        let fx = build_fixture(n_users, dim, 1, salt);
+        let path = shard_path(&format!("cand-{n_users}-{dim}-{salt}-{k}"));
+        let mut w = ShardWriter::new(fx.builder.scaler());
+        for t in &fx.templates {
+            w.push(t.clone()).unwrap();
+        }
+        w.write_to(&path).unwrap();
+        let modes: &[ReaderMode] = if cfg!(unix) {
+            &[ReaderMode::Heap, ReaderMode::Mmap]
+        } else {
+            &[ReaderMode::Heap]
+        };
+        for &mode in modes {
+            let store = ShardStore::from_shards(vec![
+                Shard::open_with(&path, mode).unwrap(),
+            ]).unwrap();
+            for probe in probes_for(&fx, dim, salt).iter().flatten() {
+                let x = fx.builder.scaler().transform(probe);
+                let xq: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+                let want = fx.memory.candidates(&xq, k);
+                let got = store.candidates(&xq, k);
+                prop_assert_eq!(&want, &got, "candidates differ in mode {:?}", mode);
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+fn sealed(mut bytes: Vec<u8>) -> Vec<u8> {
+    // Recompute the trailer so doctored sections get past the checksum
+    // and exercise the structural validation.
+    let body_len = bytes.len() - 8;
+    let sum = echoimage_core::store::format::fnv1a64(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+fn open_both(bytes: &[u8], tag: &str) -> Vec<Result<Shard, StoreError>> {
+    let path = shard_path(tag);
+    std::fs::write(&path, bytes).unwrap();
+    let mut out = vec![Shard::open_with(&path, ReaderMode::Heap)];
+    if cfg!(unix) {
+        out.push(Shard::open_with(&path, ReaderMode::Mmap));
+    }
+    std::fs::remove_file(&path).unwrap();
+    out
+}
+
+fn encoded_fixture() -> Vec<u8> {
+    let fx = build_fixture(4, 3, 2, 42);
+    let mut w = ShardWriter::new(fx.builder.scaler());
+    for t in &fx.templates {
+        w.push(t.clone()).unwrap();
+    }
+    w.encode().unwrap()
+}
+
+#[test]
+fn bit_flip_anywhere_is_a_checksum_mismatch() {
+    let bytes = encoded_fixture();
+    // Flip one bit in a handful of positions spread over the file
+    // (past the header fields that fail faster by design).
+    for pos in [100, bytes.len() / 2, bytes.len() - 9] {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x10;
+        for (i, r) in open_both(&bad, &format!("flip-{pos}"))
+            .into_iter()
+            .enumerate()
+        {
+            assert!(
+                matches!(r, Err(StoreError::ChecksumMismatch { .. })),
+                "reader {i}, flip at {pos}: {r:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_is_typed_with_offsets() {
+    let bytes = encoded_fixture();
+    // Cut in the header: Truncated before anything else is attempted.
+    for (i, r) in open_both(&bytes[..40], "trunc-header")
+        .into_iter()
+        .enumerate()
+    {
+        match r {
+            Err(StoreError::Truncated { file_len: 40, .. }) => {}
+            other => panic!("reader {i}: {other:?}"),
+        }
+    }
+    // Cut mid-body: the header promises more bytes than exist.
+    let cut = bytes.len() - 100;
+    for (i, r) in open_both(&bytes[..cut], "trunc-body")
+        .into_iter()
+        .enumerate()
+    {
+        match r {
+            Err(StoreError::Truncated {
+                offset,
+                needed: 100,
+                file_len,
+                ..
+            }) => {
+                assert_eq!(offset as usize, cut, "reader {i}");
+                assert_eq!(file_len as usize, cut, "reader {i}");
+            }
+            other => panic!("reader {i}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_and_version_are_typed() {
+    let bytes = encoded_fixture();
+    let mut bad = bytes.clone();
+    bad[..8].copy_from_slice(b"NOTSHARD");
+    for r in open_both(&bad, "magic") {
+        assert_eq!(r.unwrap_err(), StoreError::BadMagic { offset: 0 });
+    }
+    let mut bad = bytes;
+    bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+    for r in open_both(&bad, "version") {
+        assert_eq!(
+            r.unwrap_err(),
+            StoreError::BadVersion {
+                offset: 8,
+                found: 99,
+                supported: 1
+            }
+        );
+    }
+}
+
+#[test]
+fn doctored_record_table_is_corrupt_not_a_panic() {
+    let bytes = encoded_fixture();
+    let rec_tab_off = u64::from_le_bytes(bytes[72..80].try_into().unwrap()) as usize;
+    // Point the first record past the second: non-monotone table.
+    let mut bad = bytes.clone();
+    let second = u64::from_le_bytes(bytes[rec_tab_off + 8..rec_tab_off + 16].try_into().unwrap());
+    bad[rec_tab_off..rec_tab_off + 8].copy_from_slice(&(second + 8).to_le_bytes());
+    for (i, r) in open_both(&sealed(bad), "rectab").into_iter().enumerate() {
+        assert!(
+            matches!(r, Err(StoreError::Corrupt { .. })),
+            "reader {i}: {r:?}"
+        );
+    }
+    // Inflate a support-vector count: the record no longer ends at its
+    // table boundary (or runs off the file) — typed either way.
+    let gates_off = u64::from_le_bytes(bytes[80..88].try_into().unwrap()) as usize;
+    let mut bad = bytes.clone();
+    let n_sv_pos = gates_off + 8; // first gate's n_sv, after the record header
+    bad[n_sv_pos..n_sv_pos + 4].copy_from_slice(&1_000_000u32.to_le_bytes());
+    for (i, r) in open_both(&sealed(bad), "nsv").into_iter().enumerate() {
+        assert!(
+            matches!(
+                r,
+                Err(StoreError::Corrupt { .. }) | Err(StoreError::Truncated { .. })
+            ),
+            "reader {i}: {r:?}"
+        );
+    }
+    // Unsorted user ids.
+    let ids_off = u64::from_le_bytes(bytes[32..40].try_into().unwrap()) as usize;
+    let mut bad = bytes.clone();
+    bad[ids_off..ids_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    for (i, r) in open_both(&sealed(bad), "ids").into_iter().enumerate() {
+        match r {
+            Err(StoreError::Corrupt { offset, what }) => {
+                assert_eq!(offset as usize, ids_off, "reader {i}");
+                assert!(what.contains("ascending"), "reader {i}: {what}");
+            }
+            other => panic!("reader {i}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn atomic_write_leaves_no_tmp_file() {
+    let fx = build_fixture(2, 2, 1, 7);
+    let mut w = ShardWriter::new(fx.builder.scaler());
+    for t in &fx.templates {
+        w.push(t.clone()).unwrap();
+    }
+    let path = shard_path("atomic");
+    w.write_to(&path).unwrap();
+    assert!(path.exists());
+    assert!(!path.with_extension("tmp").exists());
+    // The written file round-trips.
+    let shard = Shard::open(&path).unwrap();
+    assert_eq!(shard.n_users(), 2);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn store_errors_surface_through_echoimage_error() {
+    let e: EchoImageError = StoreError::BadMagic { offset: 0 }.into();
+    assert!(matches!(e, EchoImageError::Store(_)));
+    assert!(e.to_string().contains("bad magic"));
+    assert!(std::error::Error::source(&e).is_some());
+}
+
+#[test]
+fn empty_identify_paths_are_typed() {
+    let fx = build_fixture(2, 2, 1, 3);
+    let cfg = IdentifyConfig::default();
+    assert!(matches!(
+        identify(&fx.memory, &[], &cfg),
+        Err(EchoImageError::NoCaptures)
+    ));
+    let empty = MemoryStore::new(fx.builder.scaler());
+    assert!(matches!(
+        identify(&empty, &[vec![0.0, 0.0]], &cfg),
+        Err(EchoImageError::InvalidParameter(_))
+    ));
+    let bad_dim = vec![vec![1.0, 2.0, 3.0]];
+    assert!(matches!(
+        identify(&fx.memory, &bad_dim, &cfg),
+        Err(EchoImageError::InvalidParameter(_))
+    ));
+}

@@ -457,6 +457,40 @@ pub fn max_f64_with(path: SimdPath, xs: &[f64]) -> f64 {
     dispatch!(path, scalar::max_f64(xs), avx2::max_f64(xs))
 }
 
+/// Squared Euclidean distance `Σ (a[i] − b[i])²` over `f32` operands —
+/// the template store's centroid-prefilter primitive.
+///
+/// Unlike the kernels above, this one *defines* its own summation
+/// order rather than matching a pre-existing scalar loop: 8
+/// lane-strided partial sums over the vectorisable head, combined in a
+/// fixed binary tree, then the tail accumulated sequentially. The
+/// scalar implementation mirrors that exact order, so scalar and AVX2
+/// agree bit-for-bit (the property suite pins the bound at 0 ULP).
+#[inline]
+pub fn sqdist_f32(a: &[f32], b: &[f32]) -> f32 {
+    sqdist_f32_with(active(), a, b)
+}
+
+/// [`sqdist_f32`] on an explicit path.
+#[inline]
+pub fn sqdist_f32_with(path: SimdPath, a: &[f32], b: &[f32]) -> f32 {
+    dispatch!(path, scalar::sqdist_f32(a, b), avx2::sqdist_f32(a, b))
+}
+
+/// Squared Euclidean distance `Σ (a[i] − b[i])²` over `f64` operands,
+/// with the same lane-strided-then-tree summation contract as
+/// [`sqdist_f32`] (4 lanes for `f64`).
+#[inline]
+pub fn sqdist_f64(a: &[f64], b: &[f64]) -> f64 {
+    sqdist_f64_with(active(), a, b)
+}
+
+/// [`sqdist_f64`] on an explicit path.
+#[inline]
+pub fn sqdist_f64_with(path: SimdPath, a: &[f64], b: &[f64]) -> f64 {
+    dispatch!(path, scalar::sqdist_f64(a, b), avx2::sqdist_f64(a, b))
+}
+
 // ─────────────────────────── scalar kernels ───────────────────────────
 
 mod scalar {
@@ -565,6 +599,57 @@ mod scalar {
     #[inline]
     pub fn max_f64(xs: &[f64]) -> f64 {
         xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Lane-strided squared distance; mirrors the AVX2 reduction order
+    /// exactly (8 lanes, low+high halves, pairwise tree, sequential
+    /// tail) so the two paths agree bit-for-bit.
+    #[inline]
+    pub fn sqdist_f32(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let head = n - n % 8;
+        let mut s = [0.0f32; 8];
+        let mut i = 0;
+        while i < head {
+            for (j, sj) in s.iter_mut().enumerate() {
+                let d = a[i + j] - b[i + j];
+                *sj += d * d;
+            }
+            i += 8;
+        }
+        // vaddps of the 128-bit halves, then the SSE pairwise tree.
+        let t0 = s[0] + s[4];
+        let t1 = s[1] + s[5];
+        let t2 = s[2] + s[6];
+        let t3 = s[3] + s[7];
+        let mut acc = (t0 + t2) + (t1 + t3);
+        for k in head..n {
+            let d = a[k] - b[k];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// 4-lane `f64` variant of [`sqdist_f32`], same ordering contract.
+    #[inline]
+    pub fn sqdist_f64(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let head = n - n % 4;
+        let mut s = [0.0f64; 4];
+        let mut i = 0;
+        while i < head {
+            for (j, sj) in s.iter_mut().enumerate() {
+                let d = a[i + j] - b[i + j];
+                *sj += d * d;
+            }
+            i += 4;
+        }
+        let mut acc = (s[0] + s[2]) + (s[1] + s[3]);
+        for k in head..n {
+            let d = a[k] - b[k];
+            acc += d * d;
+        }
+        acc
     }
 }
 
@@ -969,6 +1054,69 @@ mod avx2 {
 
     /// # Safety
     ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sqdist_f32(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let head = n - n % 8;
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < head {
+            // SAFETY: `i + 7 < head ≤ n` stays in bounds for both slices.
+            unsafe {
+                let x = _mm256_loadu_ps(a.as_ptr().add(i));
+                let y = _mm256_loadu_ps(b.as_ptr().add(i));
+                let d = _mm256_sub_ps(x, y);
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+            }
+            i += 8;
+        }
+        // Reduction tree mirrored by `scalar::sqdist_f32`: halves, then
+        // the SSE pairwise adds.
+        let lo = _mm256_castps256_ps128(acc);
+        let hi = _mm256_extractf128_ps(acc, 1);
+        let t = _mm_add_ps(lo, hi); // [t0, t1, t2, t3]
+        let u = _mm_add_ps(t, _mm_movehl_ps(t, t)); // [t0+t2, t1+t3, …]
+        let mut sum = _mm_cvtss_f32(_mm_add_ss(u, _mm_movehdup_ps(u)));
+        for k in head..n {
+            let d = a[k] - b[k];
+            sum += d * d;
+        }
+        sum
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sqdist_f64(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let head = n - n % FPL;
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < head {
+            // SAFETY: `i + 3 < head ≤ n` stays in bounds for both slices.
+            unsafe {
+                let x = _mm256_loadu_pd(a.as_ptr().add(i));
+                let y = _mm256_loadu_pd(b.as_ptr().add(i));
+                let d = _mm256_sub_pd(x, y);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+            }
+            i += FPL;
+        }
+        let lo = _mm256_castpd256_pd128(acc);
+        let hi = _mm256_extractf128_pd(acc, 1);
+        let t = _mm_add_pd(lo, hi); // [s0+s2, s1+s3]
+        let mut sum = _mm_cvtsd_f64(_mm_add_sd(t, _mm_unpackhi_pd(t, t)));
+        for k in head..n {
+            let d = a[k] - b[k];
+            sum += d * d;
+        }
+        sum
+    }
+
+    /// # Safety
+    ///
     /// Requires AVX2. Input must be NaN-free (see module docs).
     #[target_feature(enable = "avx2")]
     pub unsafe fn max_f64(xs: &[f64]) -> f64 {
@@ -1163,6 +1311,54 @@ mod tests {
             assert_eq!(acc, before);
             gemm_tile_with(path, &mut [], &[1.0], &[2.0], 1, 0);
         }
+    }
+
+    #[test]
+    fn sqdist_matches_reference_and_paths_agree() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 32, 63] {
+            let a64 = fvec(n, 71);
+            let b64 = fvec(n, 73);
+            let a32: Vec<f32> = a64.iter().map(|&v| v as f32).collect();
+            let b32: Vec<f32> = b64.iter().map(|&v| v as f32).collect();
+            // Paths agree bit-for-bit.
+            let s64 = sqdist_f64_with(SimdPath::Scalar, &a64, &b64);
+            let s32 = sqdist_f32_with(SimdPath::Scalar, &a32, &b32);
+            for path in paths() {
+                assert_eq!(
+                    sqdist_f64_with(path, &a64, &b64).to_bits(),
+                    s64.to_bits(),
+                    "sqdist_f64 n={n} on {path:?}"
+                );
+                assert_eq!(
+                    sqdist_f32_with(path, &a32, &b32).to_bits(),
+                    s32.to_bits(),
+                    "sqdist_f32 n={n} on {path:?}"
+                );
+            }
+            // And the value is the squared distance (up to the tree's
+            // reassociation, which a loose tolerance absorbs).
+            let naive: f64 = a64.iter().zip(&b64).map(|(x, y)| (x - y) * (x - y)).sum();
+            assert!((s64 - naive).abs() <= 1e-12 * naive.max(1.0), "n={n}");
+        }
+        // Identical operands give exactly zero.
+        let xs = fvec(21, 79);
+        assert_eq!(sqdist_f64(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn sqdist_clamps_to_shortest_operand() {
+        let a = fvec(9, 81);
+        let b = fvec(5, 83);
+        assert_eq!(
+            sqdist_f64(&a, &b).to_bits(),
+            sqdist_f64(&a[..5], &b).to_bits()
+        );
+        let a32: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+        let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+        assert_eq!(
+            sqdist_f32(&a32, &b32).to_bits(),
+            sqdist_f32(&a32[..5], &b32).to_bits()
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use echo_dsp::peaks::{find_peaks, Peak};
 use echo_dsp::simd::{
     self, accum_norm_sqr_with, axpy2_with, axpy_with, butterfly_pass_with, cmul_conj_in_place_with,
     cmul_in_place_with, cmul_into_with, cmul_scale_into_with, gemm_tile2_with, gemm_tile_with,
-    max_f64_with, scale_in_place_with, SimdPath,
+    max_f64_with, scale_in_place_with, sqdist_f32_with, sqdist_f64_with, SimdPath,
 };
 use echo_dsp::Complex;
 use proptest::prelude::*;
@@ -37,6 +37,10 @@ const ULP_AXPY: u64 = 0;
 const ULP_GEMM_TILE: u64 = 0;
 const ULP_NORM_SQR: u64 = 0;
 const ULP_MAX: u64 = 0;
+// `sqdist_*` *define* a lane-strided + fixed-tree summation order that
+// both paths implement identically, so the bound stays 0 ULP even
+// though the reduction is horizontal.
+const ULP_SQDIST: u64 = 0;
 
 /// Distance in units-in-the-last-place between two finite doubles,
 /// treating `+0.0` and `−0.0` as equal. Any NaN or sign disagreement is
@@ -260,6 +264,23 @@ proptest! {
         for i in 0..n {
             assert_ulp(s[i], v[i], ULP_NORM_SQR, "accum_norm_sqr")?;
         }
+    }
+
+    fn sqdist_paths_agree(n in 0usize..101, seed in 0u64..10_000) {
+        let a = fvec(n, seed);
+        let b = fvec(n, seed ^ 0x4B4B);
+        let s = sqdist_f64_with(SimdPath::Scalar, &a, &b);
+        let v = sqdist_f64_with(simd_path(), &a, &b);
+        assert_ulp(s, v, ULP_SQDIST, "sqdist_f64")?;
+
+        let a32: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+        let b32: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+        let s32 = sqdist_f32_with(SimdPath::Scalar, &a32, &b32);
+        let v32 = sqdist_f32_with(simd_path(), &a32, &b32);
+        prop_assert_eq!(
+            s32.to_bits(), v32.to_bits(),
+            "sqdist_f32: {:e} vs {:e}", s32, v32
+        );
     }
 
     fn max_paths_agree(n in 0usize..101, seed in 0u64..10_000) {

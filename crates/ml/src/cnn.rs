@@ -410,6 +410,10 @@ pub struct ConvScratch {
     col: Vec<f64>,
     ping: Vec<f64>,
     out: Vec<f64>,
+    /// Log-compressed source pixels awaiting resize.
+    pre: Vec<f64>,
+    /// Bilinear column taps for the resize.
+    taps: Vec<(usize, usize, f64)>,
 }
 
 impl ConvScratch {
@@ -544,10 +548,29 @@ impl FeatureExtractor {
     /// [`FeatureExtractor::extract`] reusing a caller-provided scratch
     /// arena, so repeated extractions allocate nothing per layer.
     pub fn extract_with_scratch(&self, image: &GrayImage, scratch: &mut ConvScratch) -> Vec<f64> {
-        let resized = self.preprocess(image);
+        // Fused preprocess: log-compress into the arena, resize straight
+        // into the layer-0 input plane (`ping`). Same values and order
+        // as [`FeatureExtractor::preprocess`] — it builds two throwaway
+        // images plus a taps vector per call; this path reuses the
+        // arena's buffers instead, which is what makes batch extraction
+        // allocation-free per image.
+        scratch.pre.clear();
+        scratch.pre.extend(
+            image
+                .pixels()
+                .iter()
+                .map(|&p| (1.0 + p.max(0.0) / PIXEL_REFERENCE).ln()),
+        );
         // Layer 0 input: one CHW plane == the row-major resized pixels.
-        scratch.ping.clear();
-        scratch.ping.extend_from_slice(resized.pixels());
+        crate::image::resize_into(
+            &scratch.pre,
+            image.width(),
+            image.height(),
+            self.input_size,
+            self.input_size,
+            &mut scratch.taps,
+            &mut scratch.ping,
+        );
         let (mut h, mut w) = (self.input_size, self.input_size);
         for layer in &self.layers {
             // Detach the input buffer so the arena can lend its other
@@ -600,8 +623,12 @@ impl FeatureExtractor {
         m.into_vec()
     }
 
-    /// Shared front of both paths: log compression against the fixed
+    /// Reference preprocessing: log compression against the fixed
     /// reference level, then bilinear resize to the network input.
+    /// [`FeatureExtractor::extract_reference`] keeps this allocating
+    /// form as the oracle; the production path fuses the same values
+    /// into the [`ConvScratch`] arena inside
+    /// [`FeatureExtractor::extract_with_scratch`].
     fn preprocess(&self, image: &GrayImage) -> GrayImage {
         // Row-major map over the raw pixels: same values and order as a
         // per-pixel `from_fn`, without the bounds checks.
@@ -749,6 +776,26 @@ mod tests {
         assert_eq!(gemm.len(), naive.len());
         for (a, b) in gemm.iter().zip(naive.iter()) {
             assert_eq!(a.to_bits(), b.to_bits(), "GEMM path diverged from oracle");
+        }
+    }
+
+    #[test]
+    fn fused_preprocess_is_bit_identical_to_reference_across_sizes() {
+        // One scratch across images of different shapes — including the
+        // identity-size case that skips the resize arithmetic — must
+        // reproduce the allocating reference path bit for bit.
+        let fx = FeatureExtractor::paper_default();
+        let mut scratch = ConvScratch::new();
+        let shapes = [(48usize, 48usize), (32, 32), (17, 53), (64, 9)];
+        for (i, &(w, h)) in shapes.iter().enumerate() {
+            let img =
+                GrayImage::from_fn(w, h, |x, y| ((x * 5 + y * 11 + i) % 13) as f64 * 0.3 - 0.4);
+            let fused = fx.extract_with_scratch(&img, &mut scratch);
+            let oracle = fx.extract_reference(&img);
+            assert_eq!(fused.len(), oracle.len());
+            for (a, b) in fused.iter().zip(&oracle) {
+                assert_eq!(a.to_bits(), b.to_bits(), "fused preprocess diverged");
+            }
         }
     }
 

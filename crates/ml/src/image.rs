@@ -113,43 +113,17 @@ impl GrayImage {
     ///
     /// Panics if either target dimension is zero.
     pub fn resize(&self, new_width: usize, new_height: usize) -> GrayImage {
-        assert!(
-            new_width > 0 && new_height > 0,
-            "image dimensions must be positive"
+        let mut taps = Vec::new();
+        let mut data = Vec::new();
+        resize_into(
+            &self.data,
+            self.width,
+            self.height,
+            new_width,
+            new_height,
+            &mut taps,
+            &mut data,
         );
-        if new_width == self.width && new_height == self.height {
-            return self.clone();
-        }
-        let sx = self.width as f64 / new_width as f64;
-        let sy = self.height as f64 / new_height as f64;
-        // Horizontal taps depend only on x: compute them once per image
-        // instead of once per row. Values and evaluation order match the
-        // straightforward per-pixel loop exactly.
-        let taps: Vec<(usize, usize, f64)> = (0..new_width)
-            .map(|x| {
-                // Sample at pixel centres.
-                let fx = ((x as f64 + 0.5) * sx - 0.5).clamp(0.0, (self.width - 1) as f64);
-                let x0 = fx.floor() as usize;
-                let x1 = (x0 + 1).min(self.width - 1);
-                (x0, x1, fx - x0 as f64)
-            })
-            .collect();
-        let mut data = Vec::with_capacity(new_width * new_height);
-        for y in 0..new_height {
-            let fy = ((y as f64 + 0.5) * sy - 0.5).clamp(0.0, (self.height - 1) as f64);
-            let y0 = fy.floor() as usize;
-            let y1 = (y0 + 1).min(self.height - 1);
-            let wy = fy - y0 as f64;
-            let omy = 1.0 - wy;
-            let r0 = &self.data[y0 * self.width..(y0 + 1) * self.width];
-            let r1 = &self.data[y1 * self.width..(y1 + 1) * self.width];
-            for &(x0, x1, wx) in &taps {
-                let omx = 1.0 - wx;
-                data.push(
-                    r0[x0] * omx * omy + r0[x1] * wx * omy + r1[x0] * omx * wy + r1[x1] * wx * wy,
-                );
-            }
-        }
         GrayImage {
             width: new_width,
             height: new_height,
@@ -204,6 +178,69 @@ impl GrayImage {
             }
             sum / count as f64
         })
+    }
+}
+
+/// Bilinear-resize kernel over raw row-major pixels, writing into
+/// caller-reused buffers.
+///
+/// This is the allocation-free engine behind [`GrayImage::resize`]:
+/// `taps` caches the per-column interpolation weights and `out`
+/// receives the resized pixels; both are cleared and refilled, so a
+/// caller looping over many images (the CNN preprocessing path) pays
+/// no per-image allocation once the buffers have grown. Values and
+/// evaluation order are exactly the per-pixel loop's, and the
+/// identity-size case is a plain copy — so results are bit-identical
+/// to `resize` by construction (they share this code).
+///
+/// # Panics
+///
+/// Panics if a dimension is zero or `src.len() != width * height`.
+pub fn resize_into(
+    src: &[f64],
+    width: usize,
+    height: usize,
+    new_width: usize,
+    new_height: usize,
+    taps: &mut Vec<(usize, usize, f64)>,
+    out: &mut Vec<f64>,
+) {
+    assert!(width > 0 && height > 0, "image dimensions must be positive");
+    assert!(
+        new_width > 0 && new_height > 0,
+        "image dimensions must be positive"
+    );
+    assert_eq!(src.len(), width * height, "pixel count mismatch");
+    out.clear();
+    if new_width == width && new_height == height {
+        out.extend_from_slice(src);
+        return;
+    }
+    let sx = width as f64 / new_width as f64;
+    let sy = height as f64 / new_height as f64;
+    // Horizontal taps depend only on x: compute them once per image
+    // instead of once per row.
+    taps.clear();
+    taps.extend((0..new_width).map(|x| {
+        // Sample at pixel centres.
+        let fx = ((x as f64 + 0.5) * sx - 0.5).clamp(0.0, (width - 1) as f64);
+        let x0 = fx.floor() as usize;
+        let x1 = (x0 + 1).min(width - 1);
+        (x0, x1, fx - x0 as f64)
+    }));
+    out.reserve(new_width * new_height);
+    for y in 0..new_height {
+        let fy = ((y as f64 + 0.5) * sy - 0.5).clamp(0.0, (height - 1) as f64);
+        let y0 = fy.floor() as usize;
+        let y1 = (y0 + 1).min(height - 1);
+        let wy = fy - y0 as f64;
+        let omy = 1.0 - wy;
+        let r0 = &src[y0 * width..(y0 + 1) * width];
+        let r1 = &src[y1 * width..(y1 + 1) * width];
+        for &(x0, x1, wx) in taps.iter() {
+            let omx = 1.0 - wx;
+            out.push(r0[x0] * omx * omy + r0[x1] * wx * omy + r1[x0] * omx * wy + r1[x1] * wx * wy);
+        }
     }
 }
 
@@ -284,5 +321,26 @@ mod tests {
     #[should_panic(expected = "pixel count")]
     fn bad_data_length_panics() {
         let _ = GrayImage::from_data(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn resize_into_reused_buffers_match_resize_bitwise() {
+        let mut taps = Vec::new();
+        let mut out = Vec::new();
+        // Mixed shapes (up, down, identity, single-column) through the
+        // SAME buffers: stale taps/pixels from the previous image must
+        // never leak into the next result.
+        let shapes = [(7usize, 5usize), (32, 32), (1, 9), (40, 3)];
+        for (i, &(w, h)) in shapes.iter().enumerate() {
+            let img = GrayImage::from_fn(w, h, |x, y| ((x * 13 + y * 7 + i) % 11) as f64 - 3.0);
+            for &(nw, nh) in &[(32usize, 32usize), (w, h), (3, 8)] {
+                resize_into(img.pixels(), w, h, nw, nh, &mut taps, &mut out);
+                let fresh = img.resize(nw, nh);
+                assert_eq!(out.len(), nw * nh);
+                for (a, b) in out.iter().zip(fresh.pixels()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
     }
 }

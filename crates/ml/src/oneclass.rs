@@ -171,6 +171,55 @@ impl OneClassSvm {
     pub fn num_support_vectors(&self) -> usize {
         self.support_vectors.len()
     }
+
+    /// The retained support vectors, in training order.
+    pub fn support_vectors(&self) -> &[Vec<f64>] {
+        &self.support_vectors
+    }
+
+    /// The dual coefficients αᵢ, aligned with
+    /// [`OneClassSvm::support_vectors`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The decision offset ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The kernel the model was trained with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Reassembles a model from its components (the inverse of the
+    /// accessors above) — the template store's deserialization hook.
+    /// `decision` on the result is bit-identical to the original model's
+    /// when the parts are preserved exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `support_vectors` and `coefficients` disagree in
+    /// length.
+    pub fn from_parts(
+        support_vectors: Vec<Vec<f64>>,
+        coefficients: Vec<f64>,
+        rho: f64,
+        kernel: Kernel,
+    ) -> Self {
+        assert_eq!(
+            support_vectors.len(),
+            coefficients.len(),
+            "support vectors and coefficients disagree in length"
+        );
+        OneClassSvm {
+            support_vectors,
+            coefficients,
+            rho,
+            kernel,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,30 @@ impl StandardScaler {
         self.means.len()
     }
 
+    /// Per-feature means subtracted by [`StandardScaler::transform`].
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-feature divisors applied by [`StandardScaler::transform`]
+    /// (all equal after [`StandardScaler::fit_global`]).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Reassembles a scaler from its components — the template store's
+    /// deserialization hook. `transform` on the result is bit-identical
+    /// to the original scaler's when the parts are preserved exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `means` and `stds` disagree in length or are empty.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Self {
+        assert_eq!(means.len(), stds.len(), "means/stds length mismatch");
+        assert!(!means.is_empty(), "scaler needs at least one feature");
+        StandardScaler { means, stds }
+    }
+
     /// Standardises one sample.
     ///
     /// # Panics

@@ -25,6 +25,7 @@ use crate::protocol::{encode_response, Opcode, Request, Response, Status};
 use crate::server::{Job, Shared};
 use echo_ml::GrayImage;
 use echoimage_core::auth::AuthAttempt;
+use echoimage_core::store::{identify_traced, IdentifyConfig};
 use echoimage_core::AuthDecision;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
@@ -127,6 +128,47 @@ fn decide(shared: &Shared, job: &Job, feats: &[Vec<f64>]) -> Response {
                     retry_index: 0,
                 };
                 match auth.authenticate_features_traced(ctx, feats, attempt) {
+                    Ok(AuthDecision::Accepted { user_id }) => {
+                        echo_obs::counter!("serve.accepted").inc();
+                        respond(Status::Accepted, user_id as u64, String::new())
+                    }
+                    Ok(AuthDecision::Rejected) => {
+                        echo_obs::counter!("serve.rejected").inc();
+                        respond(Status::Rejected, 0, "biometric reject".into())
+                    }
+                    Err(e) => {
+                        echo_obs::counter!("serve.errors").inc();
+                        respond(Status::Error, 0, e.to_string())
+                    }
+                }
+            }
+        },
+        Opcode::Identify => match shared.registry.store(req.tenant) {
+            None => {
+                echo_obs::counter!("serve.errors").inc();
+                respond(
+                    Status::Error,
+                    0,
+                    format!("tenant {} has no enrolled users", req.tenant),
+                )
+            }
+            Some(handle) => {
+                // One wait-free snapshot load per request: an enrol
+                // published at an earlier queue position is visible, a
+                // later one is not — the same serial order auth observes
+                // through its authenticator snapshot.
+                let store = handle.load();
+                let attempt = AuthAttempt {
+                    claimed_user: None,
+                    retry_index: 0,
+                };
+                match identify_traced(
+                    store.as_ref(),
+                    ctx,
+                    feats,
+                    &IdentifyConfig::default(),
+                    attempt,
+                ) {
                     Ok(AuthDecision::Accepted { user_id }) => {
                         echo_obs::counter!("serve.accepted").inc();
                         respond(Status::Accepted, user_id as u64, String::new())

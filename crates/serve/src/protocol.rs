@@ -15,7 +15,8 @@
 //! ```
 //!
 //! All integers are little-endian. `user` is the claimed subject for
-//! auth (`u64::MAX` = unclaimed) and the enrollee for enrol. Pixels are
+//! auth (`u64::MAX` = unclaimed), the enrollee for enrol, and ignored
+//! for identify (the whole point is not claiming one). Pixels are
 //! `f32` on the wire — the acoustic image's dynamic range survives
 //! single precision, and it halves the frame size of the hottest
 //! message.
@@ -51,6 +52,10 @@ pub enum Opcode {
     Ping = 3,
     /// Ask the daemon to drain and exit.
     Shutdown = 4,
+    /// Identify the subject of a beep train against the tenant's
+    /// template store (no claimed user required; `user` is ignored and
+    /// conventionally `u64::MAX`).
+    Identify = 5,
 }
 
 impl Opcode {
@@ -60,6 +65,7 @@ impl Opcode {
             2 => Some(Opcode::Enroll),
             3 => Some(Opcode::Ping),
             4 => Some(Opcode::Shutdown),
+            5 => Some(Opcode::Identify),
             _ => None,
         }
     }
@@ -445,6 +451,21 @@ mod tests {
         let (payload, used) = split_frame(&frame).unwrap().unwrap();
         assert_eq!(used, frame.len());
         let back = decode_request(payload).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn identify_request_round_trips_without_a_claimed_user() {
+        let req = Request {
+            op: Opcode::Identify,
+            user: u64::MAX,
+            ..sample_request()
+        };
+        assert_eq!(req.claimed_user(), None);
+        let frame = encode_request(&req);
+        let (payload, _) = split_frame(&frame).unwrap().unwrap();
+        let back = decode_request(payload).unwrap();
+        assert_eq!(back.op, Opcode::Identify);
         assert_eq!(back, req);
     }
 

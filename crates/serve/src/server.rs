@@ -459,7 +459,7 @@ fn handle_payload(shared: &Shared, conn: u64, payload: &[u8]) -> Result<(), Vec<
                 },
             );
         }
-        Opcode::Auth | Opcode::Enroll => {
+        Opcode::Auth | Opcode::Enroll | Opcode::Identify => {
             match shared
                 .registry
                 .try_admit(req.tenant, shared.cfg.queue_bound)

@@ -17,6 +17,7 @@
 //! while its neighbours keep authenticating.
 
 use echoimage_core::auth::{AuthConfig, Authenticator};
+use echoimage_core::store::{MemoryStore, StoreHandle, TemplateBuilder, TemplateStore};
 use echoimage_core::EchoImageError;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -27,6 +28,16 @@ struct Tenant {
     /// Raw enrolment feature groups, `(user_id, groups)`, in first-seen
     /// user order — the corpus every retrain is built from.
     groups: Vec<(usize, Vec<Vec<Vec<f64>>>)>,
+    /// Template builder with the scaler frozen at first enrolment —
+    /// every template published through `store` is scaled identically.
+    builder: Option<TemplateBuilder>,
+    /// Current identification snapshot; an enrol upserts ONE user's
+    /// template (other users' models are shared by pointer) instead of
+    /// re-copying the whole population the way the classification
+    /// retrain does.
+    mem: Option<Arc<MemoryStore>>,
+    /// The published-snapshot cell identify requests load from.
+    store: Option<Arc<StoreHandle>>,
     /// Jobs currently admitted to the batch queue.
     queued: usize,
 }
@@ -117,19 +128,66 @@ impl TenantRegistry {
             }
         };
         t.groups[uidx].1.push(group);
-        match Authenticator::enroll_with_groups(&t.groups, &AuthConfig::default()) {
-            Ok(auth) => {
+        let rollback = |t: &mut Tenant| {
+            t.groups[uidx].1.pop();
+            if added_user {
+                t.groups.remove(uidx);
+            }
+        };
+        let auth = match Authenticator::enroll_with_groups(&t.groups, &AuthConfig::default()) {
+            Ok(auth) => auth,
+            Err(e) => {
+                rollback(t);
+                return Err(e);
+            }
+        };
+        // Incremental template-store update: train only THIS user's
+        // gates under the frozen scaler and upsert their template —
+        // existing users' templates are shared by pointer, so the cost
+        // of publishing a new snapshot is independent of how many
+        // neighbours the tenant has.
+        let builder = t.builder.get_or_insert_with(|| {
+            TemplateBuilder::new(auth.scaler().clone(), AuthConfig::default())
+        });
+        let store_step = builder
+            .build_user(user as u64, &t.groups[uidx].1)
+            .and_then(|tmpl| {
+                let base = match &t.mem {
+                    Some(m) => m.upsert(Arc::new(tmpl))?,
+                    None => MemoryStore::from_templates(builder.scaler(), vec![Arc::new(tmpl)])?,
+                };
+                Ok(Arc::new(base))
+            });
+        match store_step {
+            Ok(mem) => {
+                t.mem = Some(Arc::clone(&mem));
+                let snapshot: Arc<dyn TemplateStore> = mem;
+                match &t.store {
+                    Some(handle) => handle.publish(snapshot),
+                    None => t.store = Some(Arc::new(StoreHandle::new(snapshot))),
+                }
                 t.auth = Some(Arc::new(auth));
                 Ok(())
             }
             Err(e) => {
-                t.groups[uidx].1.pop();
-                if added_user {
-                    t.groups.remove(uidx);
-                }
+                // Keep corpus, classifier and store consistent: if the
+                // template cannot be built, the enrolment fails as a
+                // whole and the previous model stays live.
+                rollback(t);
                 Err(e)
             }
         }
+    }
+
+    /// The tenant's identification-store handle, or `None` while nobody
+    /// is enrolled. Callers `load()` a snapshot per request; a
+    /// concurrent enrol publishes a new one without invalidating it.
+    pub fn store(&self, tenant: u64) -> Option<Arc<StoreHandle>> {
+        self.inner
+            .lock()
+            .unwrap()
+            .get(&tenant)
+            .and_then(|t| t.store.clone())
     }
 
     /// Number of tenants the registry has seen.

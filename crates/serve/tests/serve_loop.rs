@@ -137,6 +137,94 @@ fn overload_sheds_with_typed_rejects_and_audits() {
     server.shutdown();
 }
 
+fn identify_request(tenant: u64, user: u64, rid: u64, first_variant: u64) -> Request {
+    let images: Vec<_> = (0..3u64)
+        .map(|b| synth_image(tenant, user, first_variant + b, 32))
+        .collect();
+    Request {
+        op: Opcode::Identify,
+        request_id: rid,
+        tenant,
+        // Identify never claims a subject — naming one is the server's
+        // job.
+        user: u64::MAX,
+        images,
+    }
+}
+
+#[test]
+fn identify_names_the_user_and_follows_enrolment() {
+    let tenant = 555u64;
+    let server = ServerHandle::start(ServeConfig::default(), BindAddr::Tcp("127.0.0.1:0".into()))
+        .expect("bind tcp socket");
+    let addr = server.local_addr().expect("tcp addr");
+    let mut client = Client::connect_tcp(addr).expect("connect");
+
+    // Identify against an empty tenant is a typed error, not a panic.
+    let resp = client
+        .call(&identify_request(tenant, 1, 1, 50))
+        .expect("identify round-trip");
+    assert_eq!(resp.status, Status::Error);
+    assert!(resp.reason.contains("no enrolled users"), "{}", resp.reason);
+
+    // 40 images per user: the store's SVDD gates are trained per user
+    // in isolation (no sibling-threshold slack), so held-out probes
+    // need a ball sized from a respectable sample.
+    enroll(&mut client, tenant, 1, 40);
+    enroll(&mut client, tenant, 2, 40);
+
+    // Unclaimed probes name the right subject.
+    for user in [1u64, 2] {
+        let resp = client
+            .call(&identify_request(
+                tenant,
+                user,
+                10 + user,
+                3_000 + user * 16,
+            ))
+            .expect("identify round-trip");
+        assert_eq!(
+            resp.status,
+            Status::Accepted,
+            "user {user}: {}",
+            resp.reason
+        );
+        assert_eq!(resp.user_id, user, "identified as the wrong user");
+    }
+
+    // Identify keeps serving (and never errors) while an enrol builds
+    // and publishes a new store snapshot on another connection.
+    let identify_thread = std::thread::spawn(move || {
+        let mut named = 0u32;
+        for i in 0..24u64 {
+            let resp = client
+                .call(&identify_request(tenant, 1, 100 + i, 4_000 + i * 8))
+                .expect("identify during enrol");
+            match resp.status {
+                Status::Accepted => {
+                    assert_eq!(resp.user_id, 1, "misidentified during reload");
+                    named += 1;
+                }
+                Status::Rejected => {}
+                s => panic!("identify during enrol returned {s:?}: {}", resp.reason),
+            }
+        }
+        named
+    });
+    let mut enrol_client = Client::connect_tcp(addr).expect("second connection");
+    enroll(&mut enrol_client, tenant, 3, 40);
+    let named = identify_thread.join().expect("identify thread");
+    assert!(named > 0, "user 1 kept being identified through the swap");
+
+    // The published snapshot serves the newly enrolled user.
+    let resp = enrol_client
+        .call(&identify_request(tenant, 3, 300, 6_000))
+        .expect("identify after enrol");
+    assert_eq!(resp.status, Status::Accepted, "{}", resp.reason);
+    assert_eq!(resp.user_id, 3);
+    server.shutdown();
+}
+
 #[test]
 fn enrol_while_authenticating_never_errors() {
     let tenant = 33u64;

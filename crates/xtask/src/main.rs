@@ -64,13 +64,14 @@ tasks:
 /// The kernel latencies the regression gate holds. Deliberately the
 /// low-variance single-kernel timings — end-to-end stage timings and
 /// the naive-reference baselines wander too much on shared runners.
-const GATED_METRICS: [&str; 6] = [
+const GATED_METRICS: [&str; 7] = [
     "single_image.gemm_ns",
     "single_image.gemm_scratch_ns",
     "matched_filter.packed_ns",
     "matched_filter.planned_ns",
     "stage.distance.mean_ns",
     "serve.p99_ns",
+    "store.lookup_p99_ns",
 ];
 
 /// One gate step: display name, cargo arguments, extra environment.
@@ -189,6 +190,27 @@ fn ci() {
                 "echo-serve",
                 "--bin",
                 "load_test",
+                "--",
+                "--quick",
+            ],
+            &[],
+        ),
+        // Store smoke: a 100k-user shard store exercised end to end —
+        // snapshot reload published mid-run from another thread,
+        // prefiltered decisions checked against the exhaustive oracle
+        // on every loaded snapshot, newest-shard-wins and heap/mmap
+        // reader agreement pinned. Exits non-zero on the first failed
+        // check.
+        (
+            "store smoke (100k-user shards, mid-run reload parity)",
+            &[
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "echo-bench",
+                "--bin",
+                "store_bench",
                 "--",
                 "--quick",
             ],

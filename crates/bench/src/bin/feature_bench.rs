@@ -303,6 +303,32 @@ fn main() {
         })
         .collect();
 
+    // ── anti-replay spatial check ────────────────────────────────────
+    // The screen runs on every authentication attempt when enabled
+    // (DESIGN.md §14), so its per-train cost is a gated regression
+    // metric (`stage.spatial.mean_ns`). Timed over the images of a
+    // 3-beep train at the deployed 32×32 grid.
+    let spatial_cfg = echoimage_core::config::SpatialCheckConfig {
+        enabled: true,
+        ..Default::default()
+    };
+    let spatial_images = {
+        let scene = Scene::new(SceneConfig::laboratory_quiet(11));
+        let body = BodyModel::from_seed(29);
+        let caps = scene.capture_train(&body, &Placement::standing_front(0.7), 0, 3, 0);
+        let pipeline = EchoImagePipeline::new(PipelineConfig::default());
+        let (images, _) = run_or_exit(pipeline.images_from_train(&caps), "imaging failed");
+        images
+    };
+    let spatial_iters = if quick { 50 } else { 500 };
+    let spatial_mean_ns = time_ns(reps, spatial_iters, || {
+        sink += echoimage_core::spatial::train_spread(&spatial_cfg, &spatial_images).unwrap_or(0.0);
+    });
+    println!(
+        "\nanti-replay spatial check (3-beep train, 32×32 images): {:.1} µs/train",
+        spatial_mean_ns / 1e3
+    );
+
     // ── serving path: micro-batched daemon e2e p99 ───────────────────
     // Deliberately the same load in quick and full mode: the committed
     // baseline and the CI smoke sample must measure the same thing for
@@ -435,7 +461,8 @@ fn main() {
          \"matched_filter\": {{\n    \"unplanned_ns\": {mf_unplanned_ns:.0},\n    \
          \"packed_ns\": {mf_packed_ns:.0},\n    \"planned_ns\": {mf_planned_ns:.0},\n    \
          \"speedup_vs_unplanned\": {:.2}\n  }},\n  \
-         \"stage\": {{\n    \"distance\": {{\"mean_ns\": {distance_mean_ns:.0}}}\n  }},\n  \
+         \"stage\": {{\n    \"distance\": {{\"mean_ns\": {distance_mean_ns:.0}}},\n    \
+         \"spatial\": {{\"mean_ns\": {spatial_mean_ns:.0}}}\n  }},\n  \
          \"serve\": {{\n    \"p99_ns\": {serve_p99_ns}\n  }},\n  \
          \"store\": {{\n    \"users\": {store_users},\n    \
          \"shard_bytes\": {shard_bytes},\n    \

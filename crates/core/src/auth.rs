@@ -18,7 +18,7 @@
 use crate::error::EchoImageError;
 use crate::pipeline::EchoImagePipeline;
 use echo_ml::{Kernel, OneClassSvm, StandardScaler, SvmMulticlass};
-use echo_obs::{AuthAudit, AuthVerdict, TraceCtx};
+use echo_obs::{AuthAudit, AuthVerdict, RejectKind, TraceCtx};
 use echo_sim::BeepCapture;
 use std::time::Instant;
 
@@ -451,38 +451,78 @@ impl Authenticator {
     ) -> (Result<AuthDecision, EchoImageError>, bool) {
         let channels = captures.first().map_or(0, |c| c.num_channels()) as u64;
         let beeps = captures.len() as u64;
-        let reject_audit = |reason: String, mask: u64| AuthAudit {
-            trace: ctx.trace_id(),
-            seq: 0,
-            claimed_user: attempt.claimed_user,
-            beeps,
-            votes: Vec::new(),
-            votes_needed: beeps / 2 + 1,
-            best_gate_margin: None,
-            channels,
-            degraded_mask: mask,
-            retry_index: attempt.retry_index,
-            verdict: AuthVerdict::Rejected,
-            reject_reason: reason,
-        };
-        let (features, health) = match pipeline.features_from_train_degraded_traced(ctx, captures) {
-            Ok(v) => v,
+        let reject_audit =
+            |kind: RejectKind, reason: String, mask: u64, coherence: Option<f64>| AuthAudit {
+                trace: ctx.trace_id(),
+                seq: 0,
+                claimed_user: attempt.claimed_user,
+                beeps,
+                votes: Vec::new(),
+                votes_needed: beeps / 2 + 1,
+                best_gate_margin: None,
+                channels,
+                degraded_mask: mask,
+                retry_index: attempt.retry_index,
+                verdict: AuthVerdict::Rejected,
+                reject_kind: kind,
+                reject_reason: reason,
+                spatial_coherence: coherence,
+            };
+        // Image first (the split `images → features` is bit-identical
+        // to `features_from_train_degraded_traced`), so the anti-replay
+        // screen can read the acoustic images themselves.
+        let (images, health) = match pipeline.images_from_train_degraded_traced(ctx, captures) {
+            Ok((images, _, health)) => (images, health),
             Err(e) => {
                 let (mask, was_degraded) = match &e {
                     EchoImageError::DegradedCapture { mask, .. } => (*mask, true),
                     _ => (0, false),
                 };
                 echo_obs::record_audit(reject_audit(
+                    RejectKind::CaptureScreen,
                     format!("capture rejected before classification: {e}"),
                     mask,
+                    None,
                 ));
                 return (Err(e), was_degraded);
             }
         };
         let degraded = !health.all_healthy();
         let mask = health.excised_mask();
+        // Anti-replay screen on the imaging path, before feature
+        // extraction: a point-source re-emission collapses the array's
+        // angular structure and flattens the image — a security event,
+        // not a degraded capture.
+        let spatial_cfg = &pipeline.config().spatial;
+        let coherence = if spatial_cfg.enabled {
+            let t0 = echo_obs::is_enabled().then(Instant::now);
+            let c = crate::spatial::train_spread(spatial_cfg, &images);
+            if let Some(t0) = t0 {
+                echo_obs::histogram!("stage.spatial").observe_ns(t0.elapsed().as_nanos() as u64);
+            }
+            c
+        } else {
+            None
+        };
+        if let Some(c) = coherence {
+            if c > spatial_cfg.max_coherence {
+                echo_obs::counter!("auth.replay_rejected").inc();
+                echo_obs::record_audit(reject_audit(
+                    RejectKind::ReplaySignature,
+                    format!(
+                        "replay signature: image spread {c:.4} above live ceiling {:.4} \
+                         (point-source playback flattens the acoustic image)",
+                        spatial_cfg.max_coherence
+                    ),
+                    mask,
+                    Some(c),
+                ));
+                return (Ok(AuthDecision::Rejected), degraded);
+            }
+        }
+        let features = pipeline.features_batch_traced(ctx, &images);
         (
-            self.vote_and_audit(ctx, &features, attempt, channels, beeps, mask),
+            self.vote_and_audit(ctx, &features, attempt, channels, beeps, mask, coherence),
             degraded,
         )
     }
@@ -533,11 +573,13 @@ impl Authenticator {
                 degraded_mask: 0,
                 retry_index: attempt.retry_index,
                 verdict: AuthVerdict::Rejected,
+                reject_kind: RejectKind::CaptureScreen,
                 reject_reason: format!("capture rejected before classification: {e}"),
+                spatial_coherence: None,
             });
             Err(e)
         } else {
-            self.vote_and_audit(tspan.ctx(), features, &attempt, 0, beeps, 0)
+            self.vote_and_audit(tspan.ctx(), features, &attempt, 0, beeps, 0, None)
         };
         if let Some(t0) = started {
             echo_obs::histogram!("stage.auth").observe_ns(t0.elapsed().as_nanos() as u64);
@@ -551,6 +593,7 @@ impl Authenticator {
     /// exactly one [`AuthAudit`]. Both the raw-train path and the
     /// feature-level serving path funnel through here, so their
     /// decisions and audits cannot drift apart.
+    #[allow(clippy::too_many_arguments)]
     fn vote_and_audit(
         &self,
         ctx: TraceCtx,
@@ -559,6 +602,7 @@ impl Authenticator {
         channels: u64,
         beeps: u64,
         mask: u64,
+        spatial_coherence: Option<f64>,
     ) -> Result<AuthDecision, EchoImageError> {
         let mut counts: Vec<(usize, usize)> = Vec::new();
         let mut best_margin = f64::NEG_INFINITY;
@@ -579,7 +623,9 @@ impl Authenticator {
                     degraded_mask: mask,
                     retry_index: attempt.retry_index,
                     verdict: AuthVerdict::Rejected,
+                    reject_kind: RejectKind::CaptureScreen,
                     reject_reason: format!("pipeline error: {e}"),
+                    spatial_coherence,
                 });
                 return Err(e);
             }
@@ -608,22 +654,29 @@ impl Authenticator {
             .map(|&(id, n)| (id as u64, n as u64))
             .collect();
         votes.sort_by_key(|&(id, _)| id);
-        let (verdict, reason) = match decision {
+        let (verdict, kind, reason) = match decision {
             AuthDecision::Accepted { user_id } => (
                 AuthVerdict::Accepted {
                     user_id: user_id as u64,
                 },
+                RejectKind::None,
                 String::new(),
             ),
             AuthDecision::Rejected => {
-                let reason = match counts.iter().max_by_key(|(_, n)| *n) {
-                    None => "spoofer gate rejected every beep".to_string(),
-                    Some((id, n)) => format!(
-                        "no strict majority: best candidate user {id} with {n}/{} accepting beeps",
-                        features.len()
+                let (kind, reason) = match counts.iter().max_by_key(|(_, n)| *n) {
+                    None => (
+                        RejectKind::SpooferGate,
+                        "spoofer gate rejected every beep".to_string(),
+                    ),
+                    Some((id, n)) => (
+                        RejectKind::NoMajority,
+                        format!(
+                            "no strict majority: best candidate user {id} with {n}/{} accepting beeps",
+                            features.len()
+                        ),
                     ),
                 };
-                (AuthVerdict::Rejected, reason)
+                (AuthVerdict::Rejected, kind, reason)
             }
         };
         echo_obs::record_audit(AuthAudit {
@@ -638,7 +691,9 @@ impl Authenticator {
             degraded_mask: mask,
             retry_index: attempt.retry_index,
             verdict,
+            reject_kind: kind,
             reject_reason: reason,
+            spatial_coherence,
         });
         Ok(decision)
     }

@@ -210,6 +210,40 @@ pub enum CovarianceMode {
     Identity,
 }
 
+/// Anti-replay spatial check on the imaging path (DESIGN.md §14):
+/// rejects attempts whose acoustic images are too *flat* — the
+/// collapsed-structure signature of a point-source re-emission.
+///
+/// Off by default: the screen is an attack countermeasure layered on
+/// top of the paper's §V pipeline, and enabling it changes the audit
+/// stream (accepted attempts gain a measured spread). The attack
+/// evaluation (`fig_attack`), the spoof audit suite, and the CI
+/// spoof-gate all switch it on explicitly.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SpatialCheckConfig {
+    /// Run the screen at all.
+    pub enabled: bool,
+    /// Reject ceiling on the train's mean normalized image spread
+    /// (see [`crate::spatial::image_spread`]): a live body's angular
+    /// structure keeps the acoustic image compact (≈0.70–0.77 in the
+    /// reference simulator), while a point-source replay collapses the
+    /// array's angular diversity and the image flattens toward the
+    /// uniform limit (≈0.85–0.92, where 1.0 is a perfectly flat
+    /// image). Attempts measuring above the ceiling are rejected as
+    /// replays.
+    pub max_coherence: f64,
+}
+
+impl Default for SpatialCheckConfig {
+    fn default() -> Self {
+        SpatialCheckConfig {
+            enabled: false,
+            max_coherence: 0.82,
+        }
+    }
+}
+
 /// Full pipeline configuration.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -226,6 +260,8 @@ pub struct PipelineConfig {
     pub covariance: CovarianceMode,
     /// Channel-health screening thresholds for degraded-mode imaging.
     pub health: HealthConfig,
+    /// Anti-replay spatial-coherence screen (off by default).
+    pub spatial: SpatialCheckConfig,
     /// Worker threads for the imaging hot paths: `0` uses the machine's
     /// available parallelism, `1` forces the serial reference path,
     /// `n ≥ 2` uses exactly `n` threads. Results are bit-identical at
@@ -243,6 +279,7 @@ impl PipelineConfig {
             bandpass_order: 4,
             covariance: CovarianceMode::Isotropic,
             health: HealthConfig::default(),
+            spatial: SpatialCheckConfig::default(),
             threads: 0,
         }
     }

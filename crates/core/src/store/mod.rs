@@ -48,7 +48,7 @@ pub use template::{GateTemplate, MemoryStore, TemplateBuilder, UserTemplate};
 
 use crate::auth::{AuthAttempt, AuthDecision};
 use crate::error::EchoImageError;
-use echo_obs::{AuthAudit, AuthVerdict, TraceCtx};
+use echo_obs::{AuthAudit, AuthVerdict, RejectKind, TraceCtx};
 use std::fmt;
 use std::time::Instant;
 
@@ -303,7 +303,9 @@ pub fn identify_traced(
         degraded_mask: 0,
         retry_index: attempt.retry_index,
         verdict: AuthVerdict::Rejected,
+        reject_kind: RejectKind::CaptureScreen,
         reject_reason: reason,
+        spatial_coherence: None,
     };
     let outcome = (|| {
         if features.is_empty() {
@@ -395,22 +397,29 @@ pub fn identify_traced(
         }
         let mut votes: Vec<(u64, u64)> = counts.iter().map(|&(id, n)| (id, n as u64)).collect();
         votes.sort_by_key(|&(id, _)| id);
-        let (verdict, reason) = match decision {
+        let (verdict, kind, reason) = match decision {
             AuthDecision::Accepted { user_id } => (
                 AuthVerdict::Accepted {
                     user_id: user_id as u64,
                 },
+                RejectKind::None,
                 String::new(),
             ),
             AuthDecision::Rejected => {
-                let reason = match counts.iter().max_by_key(|(_, n)| *n) {
-                    None => "no candidate accepted any beep".to_string(),
-                    Some((id, n)) => format!(
-                        "no strict majority: best candidate user {id} with {n}/{} accepting beeps",
-                        features.len()
+                let (kind, reason) = match counts.iter().max_by_key(|(_, n)| *n) {
+                    None => (
+                        RejectKind::SpooferGate,
+                        "no candidate accepted any beep".to_string(),
+                    ),
+                    Some((id, n)) => (
+                        RejectKind::NoMajority,
+                        format!(
+                            "no strict majority: best candidate user {id} with {n}/{} accepting beeps",
+                            features.len()
+                        ),
                     ),
                 };
-                (AuthVerdict::Rejected, reason)
+                (AuthVerdict::Rejected, kind, reason)
             }
         };
         echo_obs::record_audit(AuthAudit {
@@ -425,7 +434,9 @@ pub fn identify_traced(
             degraded_mask: 0,
             retry_index: attempt.retry_index,
             verdict,
+            reject_kind: kind,
             reject_reason: reason,
+            spatial_coherence: None,
         });
         Ok(decision)
     })();

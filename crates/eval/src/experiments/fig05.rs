@@ -83,6 +83,7 @@ pub fn run(config: &Config) -> Result<Output, EchoImageError> {
         mic_gain_error_db: 0.0,
         mic_timing_error: 0.0,
         faults: echo_sim::FaultPlan::none(),
+        room: None,
     };
     let scene = harness.scene(&spec);
     let volunteer = Population::paper_table1(config.seed).profiles()[0].body();

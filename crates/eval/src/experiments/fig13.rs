@@ -101,6 +101,7 @@ pub fn run(config: &Config) -> Result<Output, EchoImageError> {
                 mic_gain_error_db: 0.0,
                 mic_timing_error: 0.0,
                 faults: echo_sim::FaultPlan::none(),
+                room: None,
             };
             let auth = enroll(&harness, &registered, &spec, &config.protocol)?;
             let cm = evaluate(

@@ -116,6 +116,7 @@ pub fn run(config: &Config) -> Result<Output, EchoImageError> {
                 mic_gain_error_db: 0.0,
                 mic_timing_error: 0.0,
                 faults: echo_sim::FaultPlan::none(),
+                room: None,
             };
             let (images, est) =
                 harness.images_multi_plane(&profile.body(), &spec, &PLANE_OFFSETS)?;
@@ -157,6 +158,7 @@ pub fn run(config: &Config) -> Result<Output, EchoImageError> {
                     mic_gain_error_db: 0.0,
                     mic_timing_error: 0.0,
                     faults: echo_sim::FaultPlan::none(),
+                    room: None,
                 };
                 if let Ok(f) = harness.features_for(&profile.body(), &spec) {
                     features.extend(f);

@@ -40,6 +40,12 @@ pub struct CaptureSpec {
     /// leaves the capture path byte-for-byte unchanged; a non-empty plan
     /// routes imaging through the degraded (health-screened) pipeline.
     pub faults: FaultPlan,
+    /// Image-source room model. `None` renders the legacy free-field
+    /// scene byte-for-byte; `Some` adds wall-reflection ghosts to
+    /// *every* capture built from this spec — enrolment, genuine
+    /// probes, and attack probes alike — so multipath alone never
+    /// separates clean captures from attacks.
+    pub room: Option<echo_sim::RoomModel>,
 }
 
 impl CaptureSpec {
@@ -55,6 +61,7 @@ impl CaptureSpec {
             mic_gain_error_db: 0.0,
             mic_timing_error: 0.0,
             faults: FaultPlan::none(),
+            room: None,
         }
     }
 }
@@ -148,6 +155,7 @@ impl Harness {
         let mut cfg = SceneConfig::with_environment(spec.environment, spec.noise, self.seed);
         cfg.mic_gain_error_db = spec.mic_gain_error_db;
         cfg.mic_timing_error = spec.mic_timing_error;
+        cfg.room = spec.room.clone();
         Scene::new(cfg)
     }
 

@@ -25,6 +25,47 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+/// Why an attempt was rejected, as a machine-matchable class. The
+/// free-text [`AuthAudit::reject_reason`] carries the details; this
+/// field is what dashboards, experiments, and the attack gate switch
+/// on — string-matching reject prose is how audit pipelines rot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectKind {
+    /// Not rejected (the attempt was accepted).
+    None,
+    /// The capture failed screening before any classification —
+    /// degraded channels, malformed train, or a pipeline error.
+    CaptureScreen,
+    /// The replay signature tripped: inter-channel spatial coherence
+    /// of the body-echo window was above the live ceiling, i.e. every
+    /// microphone heard the *same* waveform — a point source, not a
+    /// scatterer cloud. [`AuthAudit::spatial_coherence`] holds the
+    /// measured value.
+    ReplaySignature,
+    /// The SVDD spoofer gate rejected every beep: no enrolled user's
+    /// gate accepted a single feature vector.
+    SpooferGate,
+    /// Some beeps were accepted but no candidate reached the strict
+    /// majority.
+    NoMajority,
+    /// Shed by a serving-layer admission queue before scoring.
+    Overloaded,
+}
+
+impl RejectKind {
+    /// A short stable label for JSON artefacts and dashboards.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectKind::None => "none",
+            RejectKind::CaptureScreen => "capture_screen",
+            RejectKind::ReplaySignature => "replay_signature",
+            RejectKind::SpooferGate => "spoofer_gate",
+            RejectKind::NoMajority => "no_majority",
+            RejectKind::Overloaded => "overloaded",
+        }
+    }
+}
+
 /// The outcome of one authentication decision.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AuthVerdict {
@@ -72,8 +113,15 @@ pub struct AuthAudit {
     pub retry_index: u64,
     /// The decision.
     pub verdict: AuthVerdict,
+    /// The reject class; [`RejectKind::None`] exactly when accepted.
+    pub reject_kind: RejectKind,
     /// Why the attempt was rejected; empty exactly when accepted.
     pub reject_reason: String,
+    /// Peak inter-channel spatial coherence of the body-echo window,
+    /// when the spatial (anti-replay) check ran on this attempt.
+    /// `None` when the check was disabled or the path never saw raw
+    /// channels (e.g. the feature-level serving entry point).
+    pub spatial_coherence: Option<f64>,
 }
 
 fn audits() -> &'static Mutex<VecDeque<AuthAudit>> {
@@ -134,7 +182,13 @@ mod tests {
             } else {
                 AuthVerdict::Rejected
             },
+            reject_kind: if reason.is_empty() {
+                RejectKind::None
+            } else {
+                RejectKind::NoMajority
+            },
             reject_reason: reason.to_string(),
+            spatial_coherence: None,
         }
     }
 

@@ -120,11 +120,15 @@ pub fn audit_to_json(a: &AuthAudit) -> String {
         AuthVerdict::Rejected => ("rejected", "null".to_string()),
         AuthVerdict::Overloaded => ("overloaded", "null".to_string()),
     };
+    let coherence = match a.spatial_coherence {
+        Some(c) => json_f64(c),
+        None => "null".to_string(),
+    };
     format!(
         "{{\"type\":\"audit\",\"trace\":{},\"seq\":{},\"claimed_user\":{},\"beeps\":{},\
          \"votes\":{},\"votes_needed\":{},\"best_gate_margin\":{},\"channels\":{},\
          \"degraded_mask\":{},\"retry_index\":{},\"verdict\":\"{}\",\"accepted_user\":{},\
-         \"reject_reason\":\"{}\"}}",
+         \"reject_kind\":\"{}\",\"reject_reason\":\"{}\",\"spatial_coherence\":{}}}",
         a.trace,
         a.seq,
         claimed,
@@ -137,7 +141,9 @@ pub fn audit_to_json(a: &AuthAudit) -> String {
         a.retry_index,
         verdict,
         accepted_user,
-        escape_json(&a.reject_reason)
+        a.reject_kind.label(),
+        escape_json(&a.reject_reason),
+        coherence
     )
 }
 
@@ -252,13 +258,17 @@ mod tests {
             degraded_mask: 0b101,
             retry_index: 1,
             verdict: AuthVerdict::Rejected,
+            reject_kind: crate::audit::RejectKind::NoMajority,
             reject_reason: "weird \"quoted\" reason".to_string(),
+            spatial_coherence: Some(0.25),
         };
         let line = audit_to_json(&audit);
         assert!(line.contains("\"claimed_user\":null"));
         assert!(line.contains("\"votes\":[[1,1],[4,2]]"));
         assert!(line.contains("\"best_gate_margin\":null"));
         assert!(line.contains("\"degraded_mask\":5"));
+        assert!(line.contains("\"reject_kind\":\"no_majority\""));
+        assert!(line.contains("\"spatial_coherence\":0.25"));
         assert!(line.contains("weird \\\"quoted\\\" reason"));
     }
 
@@ -276,11 +286,15 @@ mod tests {
             degraded_mask: 0,
             retry_index: 0,
             verdict: AuthVerdict::Overloaded,
+            reject_kind: crate::audit::RejectKind::Overloaded,
             reject_reason: "overloaded: tenant 9 queue full (4/4)".to_string(),
+            spatial_coherence: None,
         };
         let line = audit_to_json(&audit);
         assert!(line.contains("\"verdict\":\"overloaded\""));
         assert!(line.contains("\"accepted_user\":null"));
+        assert!(line.contains("\"reject_kind\":\"overloaded\""));
+        assert!(line.contains("\"spatial_coherence\":null"));
         assert!(line.contains("queue full"));
     }
 

@@ -65,7 +65,7 @@ mod snapshot;
 mod span;
 pub mod trace;
 
-pub use audit::{record_audit, reset_audits, take_audits, AuthAudit, AuthVerdict};
+pub use audit::{record_audit, reset_audits, take_audits, AuthAudit, AuthVerdict, RejectKind};
 pub use json::escape_json;
 pub use metrics::{Counter, Gauge, Histogram, BUCKET_BOUNDS_NS};
 pub use registry::{is_enabled, registry, reset, set_enabled, Registry};

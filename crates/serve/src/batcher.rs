@@ -229,10 +229,12 @@ pub(crate) fn shed(req: &Request, trace_id: u64, queued: usize) -> Response {
         degraded_mask: 0,
         retry_index: 0,
         verdict: echo_obs::AuthVerdict::Overloaded,
+        reject_kind: echo_obs::RejectKind::Overloaded,
         reject_reason: format!(
             "overloaded: tenant {} admission queue full ({queued} queued)",
             req.tenant
         ),
+        spatial_coherence: None,
     });
     Response {
         op: req.op,

@@ -45,9 +45,21 @@ fn auth_request(tenant: u64, user: u64, rid: u64, first_variant: u64) -> Request
     }
 }
 
+/// A fresh directory per run: a pid-keyed fixed path collides after
+/// pid reuse and trips over a stale socket a crashed earlier run left
+/// behind, so probe with `create_dir` until an unused name sticks.
+fn socket_dir() -> std::path::PathBuf {
+    let base = std::env::temp_dir();
+    (0..)
+        .map(|i| base.join(format!("echo-serve-test-{}-{i}", std::process::id())))
+        .find(|dir| std::fs::create_dir(dir).is_ok())
+        .expect("create socket temp dir")
+}
+
 #[test]
 fn unix_socket_roundtrip_enrol_then_authenticate() {
-    let path = std::env::temp_dir().join(format!("echo-serve-test-{}.sock", std::process::id()));
+    let dir = socket_dir();
+    let path = dir.join("serve.sock");
     let server = ServerHandle::start(ServeConfig::default(), BindAddr::Unix(path.clone()))
         .expect("bind unix socket");
     let mut client = Client::connect_unix(&path).expect("connect");
@@ -79,6 +91,7 @@ fn unix_socket_roundtrip_enrol_then_authenticate() {
 
     server.shutdown();
     assert!(!path.exists(), "socket file cleaned up on shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -18,7 +18,10 @@
 //! * [`population`] — the paper's Table I subject demographics,
 //! * [`recording`] — captured multichannel beep windows,
 //! * [`fault`] — deterministic per-microphone channel-fault injection
-//!   (dead mics, gain drift, DC offset, clipping, clock skew, bursts).
+//!   (dead mics, gain drift, DC offset, clipping, clock skew, bursts),
+//! * [`spoof`] — seeded adversarial attacks (loudspeaker replay, twin
+//!   impostors) and the image-source room model they share with clean
+//!   captures.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ pub mod population;
 pub mod recording;
 pub mod room;
 pub mod scene;
+pub mod spoof;
 pub mod wav;
 
 pub use body::{BodyModel, Placement, Scatterer};
@@ -52,5 +56,6 @@ pub use fault::{ChannelFault, FaultKind, FaultPlan};
 pub use noise::NoiseKind;
 pub use population::{Population, UserProfile};
 pub use recording::BeepCapture;
-pub use room::EnvironmentKind;
+pub use room::{EnvironmentKind, RoomModel};
 pub use scene::{Bystander, Scene, SceneConfig};
+pub use spoof::{ReplaySpoof, SpoofAttack, SpoofKind, SpoofPlan, TwinSpoof};

@@ -4,6 +4,14 @@
 //! outdoor place (§VI-A-1). Each preset populates the scene with static
 //! clutter — walls, furniture, ground — whose echoes are the multipath
 //! the beamforming/time-gating pipeline must reject.
+//!
+//! [`RoomModel`] adds a shoebox image-source model on top of the point
+//! clutter: specular wall reflections up to a configurable order, the
+//! multipath enrichment the multi-channel replay-detection literature
+//! uses to make sure a detector separates *attacks* from rooms rather
+//! than rooms from anechoic captures. The same model is applied to
+//! clean and attack captures of a scene, so multipath alone never
+//! distinguishes them.
 
 use crate::body::Scatterer;
 use echo_array::Vec3;
@@ -207,6 +215,116 @@ impl Environment {
     }
 }
 
+/// A shoebox room rendered with the image-source method: every sound
+/// path additionally reaches each microphone via specular wall
+/// reflections, modelled by mirroring the *receiver* across the six
+/// walls (and their images) up to `max_order` total bounces.
+///
+/// Coordinates: the room spans `[0, size]` on each axis and the array
+/// origin sits at `array_pos` inside it, so scene geometry stays in
+/// array coordinates.
+///
+/// # Example
+///
+/// ```
+/// use echo_sim::room::RoomModel;
+/// use echo_array::Vec3;
+///
+/// let room = RoomModel::small_room();
+/// // First order: one image per wall.
+/// assert_eq!(room.images(Vec3::new(0.0, 0.0, 0.0)).len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RoomModel {
+    /// Interior dimensions (Lx, Ly, Lz), metres.
+    pub size: Vec3,
+    /// Array origin in room coordinates; must lie inside the room.
+    pub array_pos: Vec3,
+    /// Maximum total reflection order (bounces summed over all axes).
+    /// 0 disables the model; 1 adds the six first-order wall images.
+    pub max_order: usize,
+    /// Energy absorption coefficient of the walls, in `[0, 1]`. The
+    /// pressure reflection coefficient per bounce is `√(1 − α)`.
+    pub absorption: f64,
+}
+
+impl RoomModel {
+    /// A typical small office/living room: 4 × 5 × 2.6 m, the device on
+    /// a table near one wall, first-order reflections, moderately
+    /// absorbent walls (α = 0.6, furniture + drywall).
+    pub fn small_room() -> Self {
+        RoomModel {
+            size: Vec3::new(4.0, 5.0, 2.6),
+            array_pos: Vec3::new(2.0, 1.0, 0.9),
+            max_order: 1,
+            absorption: 0.6,
+        }
+    }
+
+    /// A harder, more reverberant variant: bare walls (α = 0.3) and
+    /// second-order reflections (24 images per receiver).
+    pub fn reverberant_room() -> Self {
+        RoomModel {
+            absorption: 0.3,
+            max_order: 2,
+            ..Self::small_room()
+        }
+    }
+
+    /// Pressure reflection coefficient per wall bounce.
+    pub fn reflection_coeff(&self) -> f64 {
+        (1.0 - self.absorption.clamp(0.0, 1.0)).sqrt()
+    }
+
+    /// Image positions of a receiver at `p` (array coordinates), with
+    /// their accumulated reflection coefficients. The identity (zero
+    /// bounces) is *not* included. Order of the returned images is
+    /// deterministic (lexicographic in the per-axis image indices).
+    ///
+    /// Per axis, the image index `q` places the mirrored coordinate at
+    /// `q·L + x` for even `q` and `q·L + (L − x)` for odd `q`, with
+    /// `|q|` wall bounces on that axis — the classic shoebox
+    /// image-source enumeration.
+    pub fn images(&self, p: Vec3) -> Vec<(Vec3, f64)> {
+        let r = self.reflection_coeff();
+        let n = self.max_order as i64;
+        // Receiver in room coordinates.
+        let rx = p.x + self.array_pos.x;
+        let ry = p.y + self.array_pos.y;
+        let rz = p.z + self.array_pos.z;
+        let axis = |q: i64, len: f64, x: f64| -> f64 {
+            let base = if q.rem_euclid(2) == 0 { x } else { len - x };
+            q as f64 * len + base
+        };
+        let mut images = Vec::new();
+        for qx in -n..=n {
+            for qy in -n..=n {
+                for qz in -n..=n {
+                    let order = qx.abs() + qy.abs() + qz.abs();
+                    if order == 0 || order > n {
+                        continue;
+                    }
+                    let img_room = Vec3::new(
+                        axis(qx, self.size.x, rx),
+                        axis(qy, self.size.y, ry),
+                        axis(qz, self.size.z, rz),
+                    );
+                    images.push((
+                        Vec3::new(
+                            img_room.x - self.array_pos.x,
+                            img_room.y - self.array_pos.y,
+                            img_room.z - self.array_pos.z,
+                        ),
+                        r.powi(order as i32),
+                    ));
+                }
+            }
+        }
+        images
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +390,76 @@ mod tests {
             let env = Environment::generate(kind, 0);
             assert!(env.reflectors().iter().all(|r| r.reflectivity > 0.0));
         }
+    }
+
+    #[test]
+    fn first_order_room_has_six_wall_images() {
+        let room = RoomModel::small_room();
+        let images = room.images(Vec3::new(0.05, 0.0, 0.0));
+        assert_eq!(images.len(), 6);
+        let r = room.reflection_coeff();
+        for (_, coeff) in &images {
+            assert!((coeff - r).abs() < 1e-12, "first order bounces once");
+        }
+    }
+
+    #[test]
+    fn second_order_room_has_twenty_four_images() {
+        let room = RoomModel::reverberant_room();
+        assert_eq!(room.images(Vec3::new(0.0, 0.0, 0.0)).len(), 24);
+    }
+
+    #[test]
+    fn images_lie_outside_the_room_and_mirror_the_receiver() {
+        let room = RoomModel::small_room();
+        let p = Vec3::new(0.1, 0.2, -0.1);
+        for (img, _) in room.images(p) {
+            let in_x = img.x + room.array_pos.x;
+            let in_y = img.y + room.array_pos.y;
+            let in_z = img.z + room.array_pos.z;
+            let inside = (0.0..=room.size.x).contains(&in_x)
+                && (0.0..=room.size.y).contains(&in_y)
+                && (0.0..=room.size.z).contains(&in_z);
+            assert!(!inside, "image at {img:?} must lie outside the room");
+        }
+        // The floor image (z-axis, q = -1) mirrors across z = 0: room
+        // height of the receiver is array_pos.z + p.z = 0.8, so the
+        // image sits at room height -0.8 → array z = -1.7.
+        let floor = room
+            .images(p)
+            .into_iter()
+            .map(|(v, _)| v)
+            .find(|v| (v.x - p.x).abs() < 1e-12 && (v.y - p.y).abs() < 1e-12 && v.z < p.z)
+            .expect("floor image exists");
+        assert!(
+            (floor.z - (-1.7)).abs() < 1e-12,
+            "floor image z {}",
+            floor.z
+        );
+    }
+
+    #[test]
+    fn absorption_scales_image_coefficients() {
+        let soft = RoomModel {
+            absorption: 0.9,
+            ..RoomModel::small_room()
+        };
+        let hard = RoomModel {
+            absorption: 0.1,
+            ..RoomModel::small_room()
+        };
+        let p = Vec3::new(0.0, 0.0, 0.0);
+        let c_soft = soft.images(p)[0].1;
+        let c_hard = hard.images(p)[0].1;
+        assert!(c_hard > 2.0 * c_soft, "{c_hard} vs {c_soft}");
+    }
+
+    #[test]
+    fn zero_order_room_has_no_images() {
+        let room = RoomModel {
+            max_order: 0,
+            ..RoomModel::small_room()
+        };
+        assert!(room.images(Vec3::new(0.0, 0.0, 0.0)).is_empty());
     }
 }

@@ -10,7 +10,8 @@
 use crate::body::{BodyModel, Placement, Scatterer};
 use crate::noise::{amplitude_for_spl, NoiseGenerator, NoiseKind};
 use crate::recording::BeepCapture;
-use crate::room::{Environment, EnvironmentKind};
+use crate::room::{Environment, EnvironmentKind, RoomModel};
+use crate::spoof::ReplaySpoof;
 use echo_array::{MicArray, Vec3};
 use echo_dsp::chirp::LfmChirp;
 use echo_dsp::interp::add_delayed;
@@ -57,6 +58,13 @@ pub struct SceneConfig {
     pub floor_z: Option<f64>,
     /// Pressure reflection coefficient of the floor for ghost paths.
     pub floor_reflectivity: f64,
+    /// Shoebox image-source room model: every path (direct, echo, and
+    /// replayed attack emission alike) additionally reaches each
+    /// microphone via specular wall reflections. `None` renders the
+    /// legacy free-field scene. The same model applies to clean and
+    /// attack captures of a scene, so multipath never separates them
+    /// on its own.
+    pub room: Option<RoomModel>,
     /// Speed of sound, m/s.
     pub speed_of_sound: f64,
     /// Scene-level seed: controls the noise streams.
@@ -83,6 +91,7 @@ impl SceneConfig {
             mic_timing_error: 0.0,
             floor_z: None,
             floor_reflectivity: 0.3,
+            room: None,
             speed_of_sound: SPEED_OF_SOUND,
             seed,
         }
@@ -210,39 +219,48 @@ impl Scene {
             let mic = cfg.array.position(mi);
             let (mic_gain, mic_delay) = imperfections[mi];
 
-            // Direct path speaker → mic, attenuated by the enclosure's
-            // speaker/microphone isolation.
-            let d_direct = cfg.speaker.distance_to(mic).max(0.02);
-            add_delayed(
-                ch,
-                &chirp,
-                (preroll as f64 + d_direct / c * fs + mic_delay).max(0.0),
-                mic_gain * cfg.direct_coupling / d_direct,
-            );
-
-            // Echoes: speaker → scatterer → mic, plus (optionally) the
-            // second-order scatterer → floor → mic ghost, rendered via
-            // the image method (mirror the microphone across the floor).
-            let mic_ghost = cfg
-                .floor_z
-                .map(|fz| Vec3::new(mic.x, mic.y, 2.0 * fz - mic.z));
-            for s in body_scatterers.iter().chain(cfg.environment.reflectors()) {
-                let d1 = cfg.speaker.distance_to(s.position).max(0.05);
-                let d2 = s.position.distance_to(mic).max(0.05);
+            // The receiver and its room images: every path below is
+            // rendered once per virtual microphone, so wall reflections
+            // enrich clean and attack captures identically. Without a
+            // room model this is exactly the legacy single-receiver
+            // loop.
+            for (vmic, vcoeff) in self.virtual_mics(mic) {
+                // Direct path speaker → mic, attenuated by the
+                // enclosure's speaker/microphone isolation.
+                let d_direct = cfg.speaker.distance_to(vmic).max(0.02);
                 add_delayed(
                     ch,
                     &chirp,
-                    (preroll as f64 + (d1 + d2) / c * fs + mic_delay).max(0.0),
-                    mic_gain * s.reflectivity / (d1 * d2),
+                    (preroll as f64 + d_direct / c * fs + mic_delay).max(0.0),
+                    vcoeff * mic_gain * cfg.direct_coupling / d_direct,
                 );
-                if let Some(ghost) = mic_ghost {
-                    let d2g = s.position.distance_to(ghost).max(0.05);
+
+                // Echoes: speaker → scatterer → mic, plus (optionally)
+                // the second-order scatterer → floor → mic ghost,
+                // rendered via the image method (mirror the microphone
+                // across the floor).
+                let mic_ghost = cfg
+                    .floor_z
+                    .map(|fz| Vec3::new(vmic.x, vmic.y, 2.0 * fz - vmic.z));
+                for s in body_scatterers.iter().chain(cfg.environment.reflectors()) {
+                    let d1 = cfg.speaker.distance_to(s.position).max(0.05);
+                    let d2 = s.position.distance_to(vmic).max(0.05);
                     add_delayed(
                         ch,
                         &chirp,
-                        (preroll as f64 + (d1 + d2g) / c * fs + mic_delay).max(0.0),
-                        mic_gain * cfg.floor_reflectivity * s.reflectivity / (d1 * d2g),
+                        (preroll as f64 + (d1 + d2) / c * fs + mic_delay).max(0.0),
+                        vcoeff * mic_gain * s.reflectivity / (d1 * d2),
                     );
+                    if let Some(ghost) = mic_ghost {
+                        let d2g = s.position.distance_to(ghost).max(0.05);
+                        add_delayed(
+                            ch,
+                            &chirp,
+                            (preroll as f64 + (d1 + d2g) / c * fs + mic_delay).max(0.0),
+                            vcoeff * mic_gain * cfg.floor_reflectivity * s.reflectivity
+                                / (d1 * d2g),
+                        );
+                    }
                 }
             }
         }
@@ -263,6 +281,60 @@ impl Scene {
         }
 
         BeepCapture::new(channels, fs, preroll)
+    }
+
+    /// The receiver at `mic` plus its image-source room ghosts; the
+    /// identity receiver always comes first with unit coefficient.
+    fn virtual_mics(&self, mic: Vec3) -> Vec<(Vec3, f64)> {
+        let mut vmics = vec![(mic, 1.0)];
+        if let Some(room) = &self.config.room {
+            vmics.extend(room.images(mic));
+        }
+        vmics
+    }
+
+    /// Captures one beep during a *replay attack*: the device probes as
+    /// usual (direct path, environment echoes, ambient and self-noise —
+    /// the victim is absent), while a single point-source loudspeaker at
+    /// `replay.source` re-emits a previously recorded echo waveform.
+    ///
+    /// The re-emission reaches every microphone as the *same* waveform,
+    /// delayed and attenuated per element (and per room image) — the
+    /// collapsed spatial structure that separates a loudspeaker from a
+    /// genuine scatterer cloud.
+    pub fn capture_replay(&self, replay: &ReplaySpoof, session: u32, beep: u64) -> BeepCapture {
+        echo_obs::counter!("sim.replay_captures").inc();
+        let base = self.capture_beep_from(&[], session, beep);
+        let cfg = &self.config;
+        let fs = cfg.sample_rate();
+        let c = cfg.speed_of_sound;
+        let playback = replay.playback_waveform(fs, beep);
+        let trigger = replay.trigger_samples(fs, beep);
+
+        let mut imp_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x313C_0000_0000);
+        let imperfections: Vec<(f64, f64)> = (0..cfg.array.len())
+            .map(|_| {
+                let gain_db = cfg.mic_gain_error_db * crate::body::randn(&mut imp_rng);
+                let timing = cfg.mic_timing_error * crate::body::randn(&mut imp_rng);
+                (10f64.powf(gain_db / 20.0), timing * fs)
+            })
+            .collect();
+
+        let mut channels: Vec<Vec<f64>> = base.channels().to_vec();
+        for (mi, ch) in channels.iter_mut().enumerate() {
+            let mic = cfg.array.position(mi);
+            let (mic_gain, mic_delay) = imperfections[mi];
+            for (vmic, vcoeff) in self.virtual_mics(mic) {
+                let d = replay.source.distance_to(vmic).max(0.05);
+                add_delayed(
+                    ch,
+                    &playback,
+                    (trigger + d / c * fs + mic_delay).max(0.0),
+                    vcoeff * mic_gain * replay.gain / d,
+                );
+            }
+        }
+        BeepCapture::new(channels, fs, base.preroll())
     }
 
     /// Captures one beep with a *bystander* walking through the scene —

@@ -64,12 +64,13 @@ tasks:
 /// The kernel latencies the regression gate holds. Deliberately the
 /// low-variance single-kernel timings — end-to-end stage timings and
 /// the naive-reference baselines wander too much on shared runners.
-const GATED_METRICS: [&str; 7] = [
+const GATED_METRICS: [&str; 8] = [
     "single_image.gemm_ns",
     "single_image.gemm_scratch_ns",
     "matched_filter.packed_ns",
     "matched_filter.planned_ns",
     "stage.distance.mean_ns",
+    "stage.spatial.mean_ns",
     "serve.p99_ns",
     "store.lookup_p99_ns",
 ];
@@ -84,11 +85,12 @@ type Step = (
 /// The test suites that must hold bit-for-bit across worker-thread
 /// counts and SIMD dispatch modes, mirrored by the CI determinism
 /// matrix.
-const DETERMINISM_SUITES: [&str; 5] = [
+const DETERMINISM_SUITES: [&str; 6] = [
     "fault_injection",
     "feature_determinism",
     "metrics_determinism",
     "simd_dispatch",
+    "spoof_audit",
     "trace_determinism",
 ];
 
@@ -216,6 +218,26 @@ fn ci() {
             ],
             &[],
         ),
+        // Attack gate: the quick fig_attack run exits non-zero when the
+        // population replay attack-success-rate (classifier gate AND
+        // spatial screen, see DESIGN.md §14) exceeds the ceiling.
+        (
+            "spoof gate (replay ASR ceiling, fig_attack --quick)",
+            &[
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "echo-bench",
+                "--bin",
+                "fig_attack",
+                "--",
+                "--quick",
+                "--asr-ceiling",
+                "0.01",
+            ],
+            &[],
+        ),
     ];
     for (name, args, envs) in tail {
         run(name, args, envs);
@@ -229,6 +251,7 @@ fn ci() {
         "\nCI gate passed ({} steps)",
         steps.len() + matrix_steps + tail.len() + 3
     );
+    print_step_durations();
 }
 
 /// Cross-process SIMD parity: runs the digest half of the
@@ -512,16 +535,41 @@ pub(crate) fn required_value(it: &mut std::slice::Iter<'_, String>, flag: &str) 
     })
 }
 
+/// Wall-clock per gate step, in execution order, for the end-of-run
+/// summary — where CI minutes actually go is itself a gated budget.
+fn step_durations() -> &'static std::sync::Mutex<Vec<(String, std::time::Duration)>> {
+    static DURATIONS: std::sync::OnceLock<std::sync::Mutex<Vec<(String, std::time::Duration)>>> =
+        std::sync::OnceLock::new();
+    DURATIONS.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+fn print_step_durations() {
+    let steps = step_durations().lock().unwrap();
+    if steps.is_empty() {
+        return;
+    }
+    let total: std::time::Duration = steps.iter().map(|(_, d)| *d).sum();
+    println!("\nstep durations (total {:.1}s):", total.as_secs_f64());
+    for (name, dur) in steps.iter() {
+        println!("  {:>8.1}s  {name}", dur.as_secs_f64());
+    }
+}
+
 fn run(name: &str, args: &[&str], envs: &[(&str, &str)]) {
     let env_prefix: String = envs.iter().map(|(k, v)| format!("{k}={v} ")).collect();
     println!("==> {name}: {env_prefix}cargo {}", args.join(" "));
     // CARGO points back at the cargo that invoked the alias, so the
     // gate runs with the same toolchain the developer is using.
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let start = std::time::Instant::now();
     let status = Command::new(cargo)
         .args(args)
         .envs(envs.iter().copied())
         .status();
+    step_durations()
+        .lock()
+        .unwrap()
+        .push((name.to_string(), start.elapsed()));
     match status {
         Ok(s) if s.success() => {}
         Ok(s) => {

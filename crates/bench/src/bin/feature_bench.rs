@@ -380,6 +380,27 @@ fn main() {
         serve_report.mean_batch.unwrap_or(0.0),
     );
 
+    // ── telemetry: Stats poll + Prometheus render ────────────────────
+    // Timed over the windows the serve section just populated, so the
+    // render walks realistic sketches rather than empty rings. The
+    // gated number is the full cost a 1 Hz scraper or an `echo-top`
+    // poll puts on the daemon's I/O thread: window snapshot → wire
+    // report → JSON, plus the Prometheus text exposition.
+    let stats_iters = if quick { 100 } else { 1_000 };
+    let stats_render_ns = time_ns(reps, stats_iters, || {
+        let report = echo_serve::stats::collect(None);
+        let json = echo_serve::stats::report_to_json(&report);
+        let snap = echo_obs::snapshot();
+        let (global, tenants) = echo_obs::window::snapshot_windows();
+        let mut text = echo_obs::export::prometheus_text(&snap);
+        text.push_str(&echo_obs::export::prometheus_windows(&global, &tenants));
+        sink += (json.len() + text.len()) as f64;
+    });
+    println!(
+        "\ntelemetry stats poll (collect + JSON + Prometheus render): {:.1} µs",
+        stats_render_ns / 1e3
+    );
+
     // ── template store: candidate lookup at scale ────────────────────
     // Same population in quick and full mode, for the same reason as
     // the serve section: `store.lookup_p99_ns` gates regressions in the
@@ -464,6 +485,7 @@ fn main() {
          \"stage\": {{\n    \"distance\": {{\"mean_ns\": {distance_mean_ns:.0}}},\n    \
          \"spatial\": {{\"mean_ns\": {spatial_mean_ns:.0}}}\n  }},\n  \
          \"serve\": {{\n    \"p99_ns\": {serve_p99_ns}\n  }},\n  \
+         \"stats\": {{\n    \"render_ns\": {stats_render_ns:.0}\n  }},\n  \
          \"store\": {{\n    \"users\": {store_users},\n    \
          \"shard_bytes\": {shard_bytes},\n    \
          \"lookup_p50_ns\": {store_lookup_p50_ns},\n    \

@@ -454,6 +454,7 @@ impl Authenticator {
         let reject_audit =
             |kind: RejectKind, reason: String, mask: u64, coherence: Option<f64>| AuthAudit {
                 trace: ctx.trace_id(),
+                tenant: None,
                 seq: 0,
                 claimed_user: attempt.claimed_user,
                 beeps,
@@ -563,6 +564,7 @@ impl Authenticator {
             let e = EchoImageError::NoCaptures;
             echo_obs::record_audit(AuthAudit {
                 trace: ctx.trace_id(),
+                tenant: None,
                 seq: 0,
                 claimed_user: attempt.claimed_user,
                 beeps,
@@ -613,6 +615,7 @@ impl Authenticator {
                 );
                 echo_obs::record_audit(AuthAudit {
                     trace: ctx.trace_id(),
+                    tenant: None,
                     seq: 0,
                     claimed_user: attempt.claimed_user,
                     beeps,
@@ -681,6 +684,7 @@ impl Authenticator {
         };
         echo_obs::record_audit(AuthAudit {
             trace: ctx.trace_id(),
+            tenant: None,
             seq: 0,
             claimed_user: attempt.claimed_user,
             beeps,

@@ -293,6 +293,7 @@ pub fn identify_traced(
     let beeps = features.len() as u64;
     let reject_audit = |reason: String| AuthAudit {
         trace: ctx.trace_id(),
+        tenant: None,
         seq: 0,
         claimed_user: attempt.claimed_user,
         beeps,
@@ -424,6 +425,7 @@ pub fn identify_traced(
         };
         echo_obs::record_audit(AuthAudit {
             trace: ctx.trace_id(),
+            tenant: None,
             seq: 0,
             claimed_user: attempt.claimed_user,
             beeps,

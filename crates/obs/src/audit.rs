@@ -21,6 +21,7 @@
 
 use crate::registry::collecting;
 use crate::trace::AUDIT_RING_CAPACITY;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -89,6 +90,13 @@ pub struct AuthAudit {
     pub trace: u64,
     /// Global decision sequence number, assigned at record time.
     pub seq: u64,
+    /// Serving tenant the decision belongs to, when known. Core
+    /// pipelines leave it `None`; the serving layer wraps decision
+    /// paths in a [`tenant_scope`] so every audit emitted underneath —
+    /// including deep inside `echoimage-core` — is stamped at record
+    /// time. Tenanted audits additionally feed the per-tenant windows
+    /// in [`crate::window`].
+    pub tenant: Option<u64>,
     /// The subject the caller claims to be, when known (experiment
     /// harnesses know ground truth; a real device would not).
     pub claimed_user: Option<u64>,
@@ -131,14 +139,55 @@ fn audits() -> &'static Mutex<VecDeque<AuthAudit>> {
 
 static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
 
+thread_local! {
+    static TENANT_SCOPE: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// RAII guard for [`tenant_scope`]; restores the previous scope (if
+/// any) on drop, so scopes nest.
+pub struct TenantScope {
+    prev: Option<u64>,
+}
+
+impl Drop for TenantScope {
+    fn drop(&mut self) {
+        TENANT_SCOPE.set(self.prev);
+    }
+}
+
+/// Marks every audit recorded on this thread until the guard drops as
+/// belonging to `tenant`. This is how the serving layer attributes
+/// decisions emitted deep inside `echoimage-core` — which knows nothing
+/// about tenants — without threading an id through every pipeline
+/// signature. An explicit `audit.tenant` set by the caller wins over
+/// the scope.
+///
+/// Determinism: the serving layer only decides on its single batcher
+/// thread, so scope-stamped audits inherit the audit log's
+/// cross-thread-count bit-identity.
+#[must_use = "the scope ends when the guard drops"]
+pub fn tenant_scope(tenant: u64) -> TenantScope {
+    let prev = TENANT_SCOPE.replace(Some(tenant));
+    TenantScope { prev }
+}
+
 /// Records one decision. No-op while the registry is disabled. The
 /// record's `seq` field is overwritten with the next global decision
-/// serial. Oldest records are evicted past [`AUDIT_RING_CAPACITY`].
+/// serial; a `None` `tenant` field is stamped from the ambient
+/// [`tenant_scope`], and tenanted records feed the per-tenant windows
+/// ([`crate::window::observe_decision`]). Oldest records are evicted
+/// past [`AUDIT_RING_CAPACITY`].
 pub fn record_audit(mut audit: AuthAudit) {
     if !collecting() {
         return;
     }
     audit.seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+    if audit.tenant.is_none() {
+        audit.tenant = TENANT_SCOPE.get();
+    }
+    if let Some(tenant) = audit.tenant {
+        crate::window::observe_decision(tenant, &audit);
+    }
     let mut buf = audits().lock().unwrap();
     if buf.len() >= AUDIT_RING_CAPACITY {
         buf.pop_front();
@@ -169,6 +218,7 @@ mod tests {
         AuthAudit {
             trace: 7,
             seq: 0,
+            tenant: None,
             claimed_user: Some(3),
             beeps: 4,
             votes: vec![(3, 3)],
@@ -204,6 +254,43 @@ mod tests {
         assert_eq!(drained[1].seq, 2);
         assert_eq!(drained[1].reject_reason, "no majority");
         assert!(take_audits().is_empty());
+        reset_audits();
+    }
+
+    #[test]
+    fn tenant_scope_stamps_and_nests() {
+        let _guard = crate::unit_test_lock();
+        reset_audits();
+        crate::window::reset_windows();
+        {
+            let _outer = tenant_scope(11);
+            record_audit(sample(""));
+            {
+                let _inner = tenant_scope(22);
+                record_audit(sample(""));
+            }
+            record_audit(sample(""));
+        }
+        record_audit(sample("")); // unscoped
+        let mut explicit = sample("");
+        explicit.tenant = Some(99);
+        {
+            // An explicit tenant wins over the ambient scope.
+            let _scope = tenant_scope(11);
+            record_audit(explicit);
+        }
+        let drained = take_audits();
+        let tenants: Vec<Option<u64>> = drained.iter().map(|a| a.tenant).collect();
+        assert_eq!(tenants, vec![Some(11), Some(22), Some(11), None, Some(99)]);
+        // Scoped records fed the per-tenant windows; the unscoped one
+        // did not.
+        assert_eq!(crate::window::snapshot_tenant(11).unwrap().cum.decisions, 2);
+        assert_eq!(
+            crate::window::snapshot_global().cum.decisions,
+            4,
+            "global window sees tenanted decisions only"
+        );
+        crate::window::reset_windows();
         reset_audits();
     }
 

@@ -9,7 +9,10 @@
 
 use crate::audit::{AuthAudit, AuthVerdict};
 use crate::json::{escape_json, json_f64};
+use crate::metrics::BUCKET_BOUNDS_NS;
+use crate::snapshot::MetricsSnapshot;
 use crate::trace::{AttrValue, SpanEvent};
+use crate::window::{WindowSnapshot, REJECT_LABELS, ROLLUP_SPANS};
 use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::path::Path;
@@ -96,6 +99,10 @@ pub fn span_to_json(ev: &SpanEvent) -> String {
 
 /// One audit record as a JSONL line (no trailing newline).
 pub fn audit_to_json(a: &AuthAudit) -> String {
+    let tenant = match a.tenant {
+        Some(t) => format!("{t}"),
+        None => "null".to_string(),
+    };
     let claimed = match a.claimed_user {
         Some(u) => format!("{u}"),
         None => "null".to_string(),
@@ -125,12 +132,14 @@ pub fn audit_to_json(a: &AuthAudit) -> String {
         None => "null".to_string(),
     };
     format!(
-        "{{\"type\":\"audit\",\"trace\":{},\"seq\":{},\"claimed_user\":{},\"beeps\":{},\
+        "{{\"type\":\"audit\",\"trace\":{},\"seq\":{},\"tenant\":{},\"claimed_user\":{},\
+         \"beeps\":{},\
          \"votes\":{},\"votes_needed\":{},\"best_gate_margin\":{},\"channels\":{},\
          \"degraded_mask\":{},\"retry_index\":{},\"verdict\":\"{}\",\"accepted_user\":{},\
          \"reject_kind\":\"{}\",\"reject_reason\":\"{}\",\"spatial_coherence\":{}}}",
         a.trace,
         a.seq,
+        tenant,
         claimed,
         a.beeps,
         votes,
@@ -212,6 +221,221 @@ pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
     out
 }
 
+/// Rewrites a dotted metric name into a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Dots and every other invalid character
+/// become `_`; a leading digit gets a `_` prefix.
+pub fn prometheus_sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if valid {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label *value* for the Prometheus text exposition format:
+/// backslash, double quote, and newline are escaped; everything else
+/// passes through verbatim (the format is UTF-8).
+pub fn prometheus_escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a [`MetricsSnapshot`] in the Prometheus text exposition
+/// format (version 0.0.4): one `# HELP`/`# TYPE` pair per metric,
+/// counters as `counter`, gauges as `gauge`, and latency histograms as
+/// native Prometheus histograms with **cumulative** `_bucket{le="…"}`
+/// series (bounds in nanoseconds), a `+Inf` bucket, `_sum` and
+/// `_count`. Metric names are sanitised with
+/// [`prometheus_sanitize_name`]; output is sorted by name, so equal
+/// registry states render byte-identically.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = prometheus_sanitize_name(name);
+        let _ = writeln!(out, "# HELP {n} Event counter `{}`.", escape_json(name));
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let n = prometheus_sanitize_name(name);
+        let _ = writeln!(out, "# HELP {n} Level gauge `{}`.", escape_json(name));
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for h in &snap.histograms {
+        let n = format!("{}_ns", prometheus_sanitize_name(&h.name));
+        let _ = writeln!(
+            out,
+            "# HELP {n} Latency histogram `{}` (nanoseconds).",
+            escape_json(&h.name)
+        );
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (i, &count) in h.buckets.iter().enumerate() {
+            cumulative += count;
+            match BUCKET_BOUNDS_NS.get(i) {
+                Some(bound) => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+                None => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{n}_sum {}", h.sum_ns);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+fn window_series(out: &mut String, snap: &WindowSnapshot) {
+    let tenant = snap
+        .tenant
+        .map_or_else(|| "global".to_string(), |t| t.to_string());
+    let t = prometheus_escape_label(&tenant);
+    let _ = writeln!(out, "echo_tenant_epoch{{tenant=\"{t}\"}} {}", snap.epoch);
+    let _ = writeln!(
+        out,
+        "echo_tenant_decisions_total{{tenant=\"{t}\"}} {}",
+        snap.cum.decisions
+    );
+    let _ = writeln!(
+        out,
+        "echo_tenant_accepted_total{{tenant=\"{t}\"}} {}",
+        snap.cum.accepted
+    );
+    for (label, &count) in REJECT_LABELS.iter().zip(snap.cum.rejects.iter()) {
+        let _ = writeln!(
+            out,
+            "echo_tenant_rejects_total{{tenant=\"{t}\",kind=\"{}\"}} {count}",
+            prometheus_escape_label(label)
+        );
+    }
+    if let Some(drift) = snap.drift {
+        let _ = writeln!(
+            out,
+            "echo_tenant_drift{{tenant=\"{t}\"}} {}",
+            prom_f64(drift)
+        );
+    }
+    for (span, w) in ROLLUP_SPANS.iter().zip(snap.windows.iter()) {
+        let _ = writeln!(
+            out,
+            "echo_tenant_qps{{tenant=\"{t}\",window=\"{span}\"}} {}",
+            prom_f64(w.qps)
+        );
+    }
+    // Quantiles over the full retained window (64 epochs).
+    let wide = &snap.windows[ROLLUP_SPANS.len() - 1];
+    for q in [0.5, 0.99] {
+        if let Some(m) = wide.margins.quantile(q) {
+            let _ = writeln!(
+                out,
+                "echo_tenant_gate_margin{{tenant=\"{t}\",quantile=\"{q}\"}} {}",
+                prom_f64(m)
+            );
+        }
+        if let Some(ns) = wide.lat.quantile_ns(q) {
+            let _ = writeln!(
+                out,
+                "echo_tenant_latency_ns{{tenant=\"{t}\",quantile=\"{q}\"}} {ns}"
+            );
+        }
+    }
+}
+
+/// Renders the global and per-tenant [`WindowSnapshot`]s as
+/// tenant-labelled Prometheus series (the global window gets
+/// `tenant="global"`): decision/accept/reject totals, per-span QPS
+/// gauges, drift scores, and wide-window gate-margin / latency
+/// quantiles.
+pub fn prometheus_windows(global: &WindowSnapshot, tenants: &[WindowSnapshot]) -> String {
+    let mut out = String::new();
+    let help: [(&str, &str, &str); 7] = [
+        (
+            "echo_tenant_epoch",
+            "gauge",
+            "Current logical epoch number.",
+        ),
+        (
+            "echo_tenant_decisions_total",
+            "counter",
+            "Authentication decisions since window creation.",
+        ),
+        (
+            "echo_tenant_accepted_total",
+            "counter",
+            "Accepted decisions since window creation.",
+        ),
+        (
+            "echo_tenant_rejects_total",
+            "counter",
+            "Rejected decisions by kind since window creation.",
+        ),
+        (
+            "echo_tenant_drift",
+            "gauge",
+            "PSI drift of live gate margins vs the enrolment reference.",
+        ),
+        (
+            "echo_tenant_qps",
+            "gauge",
+            "Decisions per second over the trailing window (epochs).",
+        ),
+        (
+            "echo_tenant_gate_margin",
+            "gauge",
+            "Gate-margin quantiles over the retained window.",
+        ),
+    ];
+    for (name, kind, text) in help {
+        let _ = writeln!(out, "# HELP {name} {text}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+    }
+    let _ = writeln!(
+        out,
+        "# HELP echo_tenant_latency_ns End-to-end latency quantiles over the retained window."
+    );
+    let _ = writeln!(out, "# TYPE echo_tenant_latency_ns gauge");
+    window_series(&mut out, global);
+    for snap in tenants {
+        window_series(&mut out, snap);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +473,7 @@ mod tests {
         let audit = AuthAudit {
             trace: 2,
             seq: 9,
+            tenant: Some(4),
             claimed_user: None,
             beeps: 3,
             votes: vec![(1, 1), (4, 2)],
@@ -263,6 +488,7 @@ mod tests {
             spatial_coherence: Some(0.25),
         };
         let line = audit_to_json(&audit);
+        assert!(line.contains("\"tenant\":4"));
         assert!(line.contains("\"claimed_user\":null"));
         assert!(line.contains("\"votes\":[[1,1],[4,2]]"));
         assert!(line.contains("\"best_gate_margin\":null"));
@@ -277,6 +503,7 @@ mod tests {
         let audit = AuthAudit {
             trace: 3,
             seq: 1,
+            tenant: None,
             claimed_user: Some(9),
             beeps: 1,
             votes: vec![],
@@ -291,6 +518,7 @@ mod tests {
             spatial_coherence: None,
         };
         let line = audit_to_json(&audit);
+        assert!(line.contains("\"tenant\":null"));
         assert!(line.contains("\"verdict\":\"overloaded\""));
         assert!(line.contains("\"accepted_user\":null"));
         assert!(line.contains("\"reject_kind\":\"overloaded\""));
@@ -338,6 +566,94 @@ mod tests {
         // And the original file is still byte-identical.
         assert_eq!(std::fs::read(&path).unwrap(), old);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prometheus_text_renders_types_and_cumulative_buckets() {
+        use crate::snapshot::HistogramSnapshot;
+        let mut buckets = vec![0u64; BUCKET_BOUNDS_NS.len() + 1];
+        (buckets[0], buckets[1]) = (2, 3);
+        *buckets.last_mut().unwrap() = 1; // one overflow observation
+        let snap = MetricsSnapshot {
+            enabled: true,
+            counters: vec![("auth.attempts".into(), 7)],
+            gauges: vec![("serve.queue_depth".into(), -2)],
+            histograms: vec![HistogramSnapshot {
+                name: "serve.e2e".into(),
+                count: 6,
+                sum_ns: 12_345,
+                min_ns: Some(500),
+                max_ns: Some(11_000_000_000),
+                buckets,
+            }],
+        };
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE auth_attempts counter"));
+        assert!(text.contains("auth_attempts 7"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge"));
+        assert!(text.contains("serve_queue_depth -2"));
+        assert!(text.contains("# TYPE serve_e2e_ns histogram"));
+        assert!(text.contains("serve_e2e_ns_bucket{le=\"1000\"} 2"));
+        assert!(
+            text.contains("serve_e2e_ns_bucket{le=\"5000\"} 5"),
+            "cumulative"
+        );
+        assert!(text.contains("serve_e2e_ns_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("serve_e2e_ns_sum 12345"));
+        assert!(text.contains("serve_e2e_ns_count 6"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "malformed line: {line}");
+        }
+    }
+
+    #[test]
+    fn prometheus_name_and_label_rules() {
+        assert_eq!(prometheus_sanitize_name("serve.p99_ns"), "serve_p99_ns");
+        assert_eq!(prometheus_sanitize_name("9lives"), "_9lives");
+        assert_eq!(prometheus_sanitize_name("a b\"c"), "a_b_c");
+        assert_eq!(prometheus_escape_label("plain"), "plain");
+        assert_eq!(prometheus_escape_label("a\\b"), "a\\\\b");
+        assert_eq!(prometheus_escape_label("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(prometheus_escape_label("two\nlines"), "two\\nlines");
+    }
+
+    #[test]
+    fn prometheus_windows_labels_tenants() {
+        let _guard = crate::unit_test_lock();
+        crate::window::reset_windows();
+        crate::window::set_epoch_len(2);
+        let audit = AuthAudit {
+            trace: 0,
+            seq: 0,
+            tenant: Some(7),
+            claimed_user: None,
+            beeps: 3,
+            votes: vec![],
+            votes_needed: 2,
+            best_gate_margin: Some(0.2),
+            channels: 6,
+            degraded_mask: 0,
+            retry_index: 0,
+            verdict: AuthVerdict::Accepted { user_id: 1 },
+            reject_kind: crate::audit::RejectKind::None,
+            reject_reason: String::new(),
+            spatial_coherence: None,
+        };
+        for _ in 0..4 {
+            crate::window::observe_decision(7, &audit);
+            crate::window::observe_latency(7, 2_000);
+        }
+        let (global, tenants) = crate::window::snapshot_windows();
+        let text = prometheus_windows(&global, &tenants);
+        assert!(text.contains("# TYPE echo_tenant_drift gauge"));
+        assert!(text.contains("echo_tenant_decisions_total{tenant=\"global\"} 4"));
+        assert!(text.contains("echo_tenant_decisions_total{tenant=\"7\"} 4"));
+        assert!(text.contains("echo_tenant_accepted_total{tenant=\"7\"} 4"));
+        assert!(text.contains("echo_tenant_rejects_total{tenant=\"7\",kind=\"no_majority\"} 0"));
+        assert!(text.contains("echo_tenant_gate_margin{tenant=\"7\",quantile=\"0.5\"}"));
+        assert!(text.contains("echo_tenant_latency_ns{tenant=\"7\",quantile=\"0.99\"}"));
+        crate::window::reset_windows();
     }
 
     #[test]

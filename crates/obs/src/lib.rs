@@ -61,20 +61,27 @@ pub mod export;
 pub mod json;
 mod metrics;
 mod registry;
+pub mod sketch;
 mod snapshot;
 mod span;
 pub mod trace;
+pub mod window;
 
-pub use audit::{record_audit, reset_audits, take_audits, AuthAudit, AuthVerdict, RejectKind};
+pub use audit::{
+    record_audit, reset_audits, take_audits, tenant_scope, AuthAudit, AuthVerdict, RejectKind,
+    TenantScope,
+};
 pub use json::escape_json;
 pub use metrics::{Counter, Gauge, Histogram, BUCKET_BOUNDS_NS};
 pub use registry::{is_enabled, registry, reset, set_enabled, Registry};
+pub use sketch::{psi, Sketch, SKETCH_BINS};
 pub use snapshot::{snapshot, HistogramSnapshot, MetricsSnapshot};
 pub use span::Span;
 pub use trace::{
     reset_traces, root_span, set_trace_enabled, set_trace_sampling, take_spans, trace_enabled,
     trace_events_dropped, trace_sampling, SpanEvent, TraceCtx, TraceSpan,
 };
+pub use window::{DriftAlarm, LatHist, WindowRollup, WindowSnapshot};
 
 #[cfg(test)]
 pub(crate) fn unit_test_lock() -> std::sync::MutexGuard<'static, ()> {

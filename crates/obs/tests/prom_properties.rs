@@ -1,0 +1,117 @@
+//! Property tests for the Prometheus text-format helpers.
+//!
+//! The exposition file is parsed by an external scraper, so the
+//! escaping and sanitising rules are a wire contract: a label value
+//! must round-trip through the standard unescaping rules, and a
+//! sanitised metric name must always match `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+//!
+//! The vendored proptest stub has no string strategies, so strings are
+//! built from generated code-point vectors, with every 4th draw forced
+//! onto the characters the escaper actually treats specially
+//! (backslash, quote, newline, dot) — uniform unicode alone would
+//! almost never hit them.
+
+use echo_obs::export::{prometheus_escape_label, prometheus_sanitize_name};
+use proptest::prelude::*;
+
+/// Maps one generated draw to a char, biased towards the escaper's
+/// special cases.
+fn draw_char(i: usize, code: u32) -> char {
+    if i.is_multiple_of(4) {
+        ['\\', '"', '\n', '.', 'µ', '{', '}'][(code % 7) as usize]
+    } else {
+        char::from_u32(code).unwrap_or('\u{FFFD}')
+    }
+}
+
+fn build_string(codes: &[u32]) -> String {
+    codes
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| draw_char(i, c))
+        .collect()
+}
+
+/// The inverse of the exposition escaping: `\\` → `\`, `\"` → `"`,
+/// `\n` → newline, exactly as a conforming scraper decodes values.
+fn unescape_label(escaped: &str) -> Option<String> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+fn name_is_valid(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Escaping is lossless: any unicode string survives an
+    /// escape → unescape round trip.
+    fn escape_label_round_trips(codes in prop::collection::vec(0u32..0x11_0000, 0..64)) {
+        let value = build_string(&codes);
+        let escaped = prometheus_escape_label(&value);
+        prop_assert_eq!(unescape_label(&escaped), Some(value));
+    }
+
+    /// The escaped form never contains the characters that terminate a
+    /// quoted label value mid-string: a raw `"` or a newline.
+    fn escaped_label_is_quote_safe(codes in prop::collection::vec(0u32..0x11_0000, 0..64)) {
+        let escaped = prometheus_escape_label(&build_string(&codes));
+        prop_assert!(!escaped.contains('\n'));
+        let bytes = escaped.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'"' {
+                // Every quote must be preceded by an odd run of
+                // backslashes (i.e. it is escaped).
+                let run = bytes[..i].iter().rev().take_while(|&&b| b == b'\\').count();
+                prop_assert!(run % 2 == 1, "unescaped quote in {:?}", escaped);
+            }
+        }
+    }
+
+    /// Sanitised names always match the Prometheus name grammar and
+    /// are stable under re-sanitising.
+    fn sanitised_names_match_grammar(codes in prop::collection::vec(0u32..0x11_0000, 0..48)) {
+        let name = build_string(&codes);
+        let clean = prometheus_sanitize_name(&name);
+        prop_assert!(name_is_valid(&clean), "{:?} -> {:?}", name, clean);
+        prop_assert_eq!(prometheus_sanitize_name(&clean), clean);
+    }
+
+    /// Names in the workspace's dotted convention pass through with
+    /// only dots rewritten.
+    fn dotted_names_only_lose_dots(codes in prop::collection::vec(0u32..36, 1..24)) {
+        // Draws map onto [a-z0-9.], first char forced alphabetic.
+        let name: String = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| match c {
+                0..=25 => (b'a' + c as u8) as char,
+                26..=34 if i > 0 => (b'0' + (c - 26) as u8) as char,
+                _ if i > 0 => '.',
+                _ => 'x',
+            })
+            .collect();
+        let clean = prometheus_sanitize_name(&name);
+        prop_assert_eq!(clean, name.replace('.', "_"));
+    }
+}

@@ -73,6 +73,10 @@ fn process_batch(shared: &Shared, mut batch: Vec<Job>) {
     // gives exact count/sum, which is all the mean-batch-size gate
     // reads.
     echo_obs::histogram!("serve.batch_size").observe_ns(batch.len() as u64);
+    // Occupancy: how full this flush was relative to the configured
+    // ceiling, in percent (unitless, like batch_size).
+    let fill_pct = (batch.len() * 100 / shared.cfg.max_batch.max(1)) as u64;
+    echo_obs::histogram!("serve.batch_fill_pct").observe_ns(fill_pct);
 
     // One extraction call over every image in the flush — the point of
     // the whole crate.
@@ -82,13 +86,25 @@ fn process_batch(shared: &Shared, mut batch: Vec<Job>) {
         let start = all.len();
         all.append(&mut job.req.images);
         ranges.push((start, all.len()));
+        // The job has left the queue: close its wait span so the trace
+        // separates batcher wait from pipeline time.
+        drop(job.queue_wait.take());
     }
     let features = shared.fx.extract_batch_threaded(&all, shared.cfg.threads);
 
     for (job, (s, e)) in batch.into_iter().zip(ranges) {
         let feats = &features[s..e];
-        let resp = decide(shared, &job, feats);
-        echo_obs::histogram!("serve.e2e").observe_ns(job.enqueued.elapsed().as_nanos() as u64);
+        let resp = {
+            // Everything the decision path audits — including records
+            // emitted deep inside echoimage-core — is stamped with the
+            // job's tenant and fed to its telemetry window.
+            let _tenant = echo_obs::tenant_scope(job.req.tenant);
+            let _decide_span = job.span.ctx().child("serve.decide");
+            decide(shared, &job, feats)
+        };
+        let e2e_ns = job.enqueued.elapsed().as_nanos() as u64;
+        echo_obs::histogram!("serve.e2e").observe_ns(e2e_ns);
+        echo_obs::window::observe_latency(job.req.tenant, e2e_ns);
         shared.registry.release(job.req.tenant);
         let frame = encode_response(&resp);
         let mut ob = shared.outboxes.lock().unwrap();
@@ -111,6 +127,7 @@ fn decide(shared: &Shared, job: &Job, feats: &[Vec<f64>]) -> Response {
         user_id,
         trace_id: ctx.trace_id(),
         reason,
+        stats: None,
     };
     match req.op {
         Opcode::Auth => match shared.registry.authenticator(req.tenant) {
@@ -205,9 +222,10 @@ fn decide(shared: &Shared, job: &Job, feats: &[Vec<f64>]) -> Response {
                 }
             }
         },
-        // Ping/shutdown are answered on the I/O thread and never reach
-        // the queue; answer defensively rather than panic if one does.
-        Opcode::Ping | Opcode::Shutdown => respond(Status::Ok, 0, String::new()),
+        // Ping/shutdown/stats are answered on the I/O thread and never
+        // reach the queue; answer defensively rather than panic if one
+        // does.
+        Opcode::Ping | Opcode::Shutdown | Opcode::Stats => respond(Status::Ok, 0, String::new()),
     }
 }
 
@@ -219,6 +237,7 @@ pub(crate) fn shed(req: &Request, trace_id: u64, queued: usize) -> Response {
     let beeps = req.images.len() as u64;
     echo_obs::record_audit(echo_obs::AuthAudit {
         trace: trace_id,
+        tenant: Some(req.tenant),
         seq: 0,
         claimed_user: req.claimed_user(),
         beeps,
@@ -246,5 +265,6 @@ pub(crate) fn shed(req: &Request, trace_id: u64, queued: usize) -> Response {
             "overloaded: tenant {} admission queue full ({queued} queued)",
             req.tenant
         ),
+        stats: None,
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! echo_serve [--tcp ADDR | --unix PATH] [--window-us N] [--max-batch N]
-//!            [--queue-bound N] [--threads N]
+//!            [--queue-bound N] [--threads N] [--prom-out PATH]
 //! ```
 //!
 //! Every knob is validated before the socket is bound; a bad flag is a
@@ -40,6 +40,7 @@ fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let tcp = flag_value(&mut args, "--tcp");
     let unix = flag_value(&mut args, "--unix");
+    let prom_out = flag_value(&mut args, "--prom-out");
     let window_us: u64 = parse_flag(&mut args, "--window-us", 3_000)?;
     let max_batch: usize = parse_flag(&mut args, "--max-batch", 32)?;
     let queue_bound: usize = parse_flag(&mut args, "--queue-bound", 256)?;
@@ -51,13 +52,14 @@ fn run() -> Result<(), String> {
         return Err(format!("unrecognised argument `{extra}`"));
     }
 
-    let cfg = ServeConfig::validated(
+    let mut cfg = ServeConfig::validated(
         Duration::from_micros(window_us),
         max_batch,
         queue_bound,
         threads,
     )
     .map_err(|e| e.to_string())?;
+    cfg.prom_out = prom_out.map(Into::into);
 
     let bind = match (tcp, unix) {
         (Some(_), Some(_)) => return Err("--tcp and --unix are mutually exclusive".into()),

@@ -1,0 +1,225 @@
+//! `echo-top`: a live terminal dashboard over the daemon's `Stats`
+//! opcode.
+//!
+//! ```text
+//! echo_top [--tcp ADDR | --unix PATH] [--tenant ID] [--interval-ms N]
+//!          [--once] [--json] [--assert-live]
+//! ```
+//!
+//! By default it polls every second and redraws one screen: a daemon
+//! header (queue depth, mean batch size and fill) plus one row per
+//! tenant with windowed QPS, accept rate, rejects by class, latency
+//! p50/p99, and the PSI drift score against the enrolment-time
+//! reference. `--once` polls a single time; with `--json` it prints the
+//! raw report as JSON instead of a screen — the CI `obs-smoke` job runs
+//! `--once --json --assert-live`, where `--assert-live` exits non-zero
+//! unless at least one tenant window has decisions and every reported
+//! drift score is finite.
+
+use echo_serve::client::Client;
+use echo_serve::protocol::{Opcode, Request, RollupStats, StatsReport, Status, TenantStats};
+use echo_serve::stats::report_to_json;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn flag_present(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn connect(tcp: &Option<String>, unix: &Option<String>) -> Result<Client, String> {
+    match (tcp, unix) {
+        (Some(_), Some(_)) => Err("--tcp and --unix are mutually exclusive".into()),
+        (None, Some(path)) => Client::connect_unix(path).map_err(|e| e.to_string()),
+        (_, None) => {
+            let addr = tcp.as_deref().unwrap_or("127.0.0.1:7777");
+            let addr: std::net::SocketAddr =
+                addr.parse().map_err(|_| format!("bad address `{addr}`"))?;
+            Client::connect_tcp(addr).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn poll(client: &mut Client, tenant: u64) -> Result<StatsReport, String> {
+    let resp = client
+        .call(&Request {
+            op: Opcode::Stats,
+            request_id: 0,
+            tenant,
+            user: u64::MAX,
+            images: Vec::new(),
+        })
+        .map_err(|e| e.to_string())?;
+    if resp.status != Status::Ok {
+        return Err(format!("stats request failed: {}", resp.reason));
+    }
+    resp.stats.ok_or_else(|| "response carried no stats".into())
+}
+
+fn fmt_ns(ns: Option<u64>) -> String {
+    match ns {
+        None => "-".into(),
+        Some(ns) if ns < 1_000 => format!("{ns}ns"),
+        Some(ns) if ns < 1_000_000 => format!("{:.1}µs", ns as f64 / 1e3),
+        Some(ns) if ns < 1_000_000_000 => format!("{:.1}ms", ns as f64 / 1e6),
+        Some(ns) => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".into(), |v| format!("{v:.3}"))
+}
+
+/// One dashboard row from a tenant's 8-epoch window (index 1: long
+/// enough to smooth batching jitter, short enough to move when traffic
+/// does).
+fn row(t: &TenantStats) -> String {
+    let name = t
+        .tenant
+        .map_or_else(|| "global".to_string(), |id| id.to_string());
+    let w: &RollupStats = t.windows.get(1).unwrap_or(&t.cum);
+    let acc_pct = if w.decisions > 0 {
+        format!("{:.1}%", 100.0 * w.accepted as f64 / w.decisions as f64)
+    } else {
+        "-".into()
+    };
+    format!(
+        "{name:>8} {epoch:>7} {qps:>8.1} {acc:>7} {accepted:>7} {gate:>6} {replay:>6} \
+         {nomaj:>6} {screen:>6} {shed:>6} {p50:>8} {p99:>8} {drift:>7}",
+        epoch = t.epoch,
+        qps = w.qps,
+        acc = acc_pct,
+        accepted = w.accepted,
+        gate = w.rejects[2],
+        replay = w.rejects[1],
+        nomaj = w.rejects[3],
+        screen = w.rejects[0],
+        shed = w.rejects[4],
+        p50 = fmt_ns(w.lat.quantile_ns(0.5)),
+        p99 = fmt_ns(w.lat.quantile_ns(0.99)),
+        drift = fmt_opt(t.drift),
+    )
+}
+
+fn render(report: &StatsReport, target: &str) -> String {
+    let mut out = String::new();
+    let mean_batch = (report.batch_count > 0)
+        .then(|| report.batch_sum as f64 / report.batch_count as f64)
+        .map_or_else(|| "-".into(), |v| format!("{v:.1}"));
+    let mean_fill = (report.fill_count > 0)
+        .then(|| report.fill_sum as f64 / report.fill_count as f64)
+        .map_or_else(|| "-".into(), |v| format!("{v:.0}%"));
+    out.push_str(&format!(
+        "echo-top — {target} — epoch_len {} — queue {} — batch {mean_batch} (fill {mean_fill})\n",
+        report.epoch_len, report.queue_depth,
+    ));
+    out.push_str(&format!(
+        "{:>8} {:>7} {:>8} {:>7} {:>7} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>7}\n",
+        "TENANT",
+        "EPOCH",
+        "QPS",
+        "ACC%",
+        "ACCEPT",
+        "GATE",
+        "REPLAY",
+        "NOMAJ",
+        "SCREEN",
+        "SHED",
+        "P50",
+        "P99",
+        "DRIFT",
+    ));
+    out.push_str(&row(&report.global));
+    out.push('\n');
+    for t in &report.tenants {
+        out.push_str(&row(t));
+        out.push('\n');
+    }
+    out
+}
+
+/// The `--assert-live` predicate: at least one per-tenant window has
+/// recorded decisions, and no drift score is NaN or infinite.
+fn is_live(report: &StatsReport) -> bool {
+    let any_decisions = report.tenants.iter().any(|t| t.cum.decisions > 0);
+    let drift_ok = report
+        .tenants
+        .iter()
+        .chain(std::iter::once(&report.global))
+        .all(|t| t.drift.is_none_or(f64::is_finite));
+    any_decisions && drift_ok
+}
+
+fn run() -> Result<bool, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let tcp = flag_value(&mut args, "--tcp");
+    let unix = flag_value(&mut args, "--unix");
+    let tenant: u64 = match flag_value(&mut args, "--tenant") {
+        None => u64::MAX,
+        Some(v) => v.parse().map_err(|_| format!("bad tenant id `{v}`"))?,
+    };
+    let interval_ms: u64 = match flag_value(&mut args, "--interval-ms") {
+        None => 1_000,
+        Some(v) => v.parse().map_err(|_| format!("bad interval `{v}`"))?,
+    };
+    let once = flag_present(&mut args, "--once");
+    let json = flag_present(&mut args, "--json");
+    let assert_live = flag_present(&mut args, "--assert-live");
+    if let Some(extra) = args.first() {
+        return Err(format!("unrecognised argument `{extra}`"));
+    }
+
+    let target = match (&tcp, &unix) {
+        (None, Some(p)) => format!("unix://{p}"),
+        (addr, None) => format!("tcp://{}", addr.as_deref().unwrap_or("127.0.0.1:7777")),
+        _ => String::new(),
+    };
+    let mut client = connect(&tcp, &unix)?;
+
+    loop {
+        let report = poll(&mut client, tenant)?;
+        if json {
+            print!("{}", report_to_json(&report));
+        } else if once {
+            print!("{}", render(&report, &target));
+        } else {
+            // Clear the screen and home the cursor, then redraw.
+            print!("\x1b[2J\x1b[H{}", render(&report, &target));
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }
+        if once {
+            return Ok(!assert_live || is_live(&report));
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("echo_top: --assert-live failed: no live tenant window or non-finite drift");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("echo_top: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

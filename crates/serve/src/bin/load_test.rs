@@ -5,13 +5,15 @@
 //! ```text
 //! load_test [--sessions N] [--qps F] [--beeps N] [--tenants N] [--users N]
 //!           [--window-us N] [--max-batch N] [--queue-bound N] [--threads N]
-//!           [--metrics-out PATH] [--quick]
+//!           [--metrics-out PATH] [--quick] [--connect ADDR]
 //! ```
 //!
-//! The server runs in-process on an ephemeral TCP port, so the reported
-//! `serve.e2e` percentiles and `serve.batch_size` mean come straight
-//! from the process-wide metrics registry — the same numbers
-//! `--metrics-out` exports. The run self-checks: it fails (non-zero
+//! By default the server runs in-process on an ephemeral TCP port;
+//! `--connect ADDR` drives an already-running daemon instead. Either
+//! way the reported latency and batching numbers come from **`Stats`
+//! snapshots bracketing the run** (delta of the daemon's cumulative
+//! histograms), so back-to-back runs against one process never
+//! contaminate each other. The run self-checks: it fails (non-zero
 //! exit) if any request errored or the p99 is missing, which is what
 //! the CI smoke leans on.
 
@@ -76,35 +78,51 @@ fn run() -> Result<bool, String> {
         None => echoimage_core::par::threads_from_env().map_err(|e| e.to_string())?,
     };
     let metrics_out = flag_value(&mut args, "--metrics-out");
+    let connect = flag_value(&mut args, "--connect");
     if let Some(extra) = args.first() {
         return Err(format!("unrecognised argument `{extra}`"));
     }
 
-    let cfg = ServeConfig::validated(
-        Duration::from_micros(window_us),
-        max_batch,
-        queue_bound,
-        threads,
-    )
-    .map_err(|e| e.to_string())?;
-
-    let server = ServerHandle::start(cfg, BindAddr::Tcp("127.0.0.1:0".into()))
-        .map_err(|e| format!("bind: {e}"))?;
-    let addr = server
-        .local_addr()
-        .ok_or_else(|| "server has no TCP address".to_string())?;
+    // In-process daemon unless --connect points at a running one.
+    let (server, addr) = match connect {
+        Some(addr) => {
+            let addr = addr
+                .parse()
+                .map_err(|_| format!("--connect: bad address `{addr}`"))?;
+            (None, addr)
+        }
+        None => {
+            let cfg = ServeConfig::validated(
+                Duration::from_micros(window_us),
+                max_batch,
+                queue_bound,
+                threads,
+            )
+            .map_err(|e| e.to_string())?;
+            let server = ServerHandle::start(cfg, BindAddr::Tcp("127.0.0.1:0".into()))
+                .map_err(|e| format!("bind: {e}"))?;
+            let addr = server
+                .local_addr()
+                .ok_or_else(|| "server has no TCP address".to_string())?;
+            (Some(server), addr)
+        }
+    };
 
     loadgen::enroll_world(addr, &spec).map_err(|e| format!("enrol: {e}"))?;
+    let before = loadgen::fetch_stats(addr).map_err(|e| format!("stats (before): {e}"))?;
     let tallies = loadgen::run_load(addr, &spec).map_err(|e| format!("load: {e}"))?;
-    let snapshot = echo_obs::snapshot();
-    let report = loadgen::report(tallies, &snapshot);
+    let after = loadgen::fetch_stats(addr).map_err(|e| format!("stats (after): {e}"))?;
+    let report = loadgen::report_from_stats(tallies, &before, &after);
     print!("{}", report.to_json());
 
     if let Some(path) = metrics_out {
+        let snapshot = echo_obs::snapshot();
         echo_obs::export::write_atomic(&path, snapshot.to_json().as_bytes())
             .map_err(|e| format!("--metrics-out {path}: {e}"))?;
     }
-    server.shutdown();
+    if let Some(server) = server {
+        server.shutdown();
+    }
 
     let healthy = report.tallies.errors == 0 && report.p99_ns.is_some();
     if !healthy {

@@ -10,6 +10,7 @@
 
 use echoimage_core::par::ThreadsParseError;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Longest accepted micro-batch window. A window is added to every
@@ -90,6 +91,12 @@ pub struct ServeConfig {
     /// Worker threads for batched feature extraction (workspace
     /// convention: `0` = available parallelism, `1` = serial).
     pub threads: usize,
+    /// When set, the I/O loop atomically rewrites this file about once
+    /// a second with the Prometheus text exposition (registry metrics
+    /// plus the tenant windows) for file-based scraping. A path, not a
+    /// bounded knob, so it is set after [`ServeConfig::validated`]
+    /// rather than through it.
+    pub prom_out: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +106,7 @@ impl Default for ServeConfig {
             max_batch: 32,
             queue_bound: 256,
             threads: 0,
+            prom_out: None,
         }
     }
 }
@@ -135,6 +143,7 @@ impl ServeConfig {
             max_batch,
             queue_bound,
             threads,
+            prom_out: None,
         })
     }
 }

@@ -65,11 +65,14 @@ pub mod config;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod stats;
 pub mod tenant;
 
 mod batcher;
 
 pub use client::{Client, ClientError};
 pub use config::{ServeConfig, ServeConfigError};
-pub use protocol::{Opcode, ProtocolError, Request, Response, Status};
+pub use protocol::{
+    Opcode, ProtocolError, Request, Response, RollupStats, StatsReport, Status, TenantStats,
+};
 pub use server::{BindAddr, ServerHandle};

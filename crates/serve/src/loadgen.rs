@@ -14,7 +14,7 @@
 //! the numbers the observability layer exports — one source of truth.
 
 use crate::client::{Client, ClientError};
-use crate::protocol::{Opcode, Request, Status};
+use crate::protocol::{Opcode, Request, StatsReport, Status};
 use echo_ml::GrayImage;
 use echo_obs::MetricsSnapshot;
 use std::net::SocketAddr;
@@ -269,8 +269,60 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> Result<LoadTallies, Client
     })
 }
 
-/// Combines run tallies with the daemon's own histograms into the
-/// summary the load test prints and the bench gate reads.
+/// Fetches one [`StatsReport`] from the daemon at `addr` over the
+/// wire (all tenants).
+///
+/// # Errors
+///
+/// [`ClientError`] on transport failure; a non-`Ok` status or a
+/// response without a stats block surfaces as an [`ClientError::Io`]
+/// of kind `InvalidData`.
+pub fn fetch_stats(addr: SocketAddr) -> Result<StatsReport, ClientError> {
+    let mut client = Client::connect_tcp(addr)?;
+    let resp = client.call(&Request {
+        op: Opcode::Stats,
+        request_id: 0,
+        tenant: u64::MAX,
+        user: u64::MAX,
+        images: Vec::new(),
+    })?;
+    let invalid =
+        |msg: String| ClientError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, msg));
+    if resp.status != Status::Ok {
+        return Err(invalid(format!("stats request failed: {}", resp.reason)));
+    }
+    resp.stats
+        .ok_or_else(|| invalid("stats response carried no stats block".into()))
+}
+
+/// Builds the load summary from **deltas between two [`StatsReport`]s**
+/// bracketing the run, so back-to-back runs in one process (or against
+/// one long-lived daemon) never contaminate each other through the
+/// cumulative process-wide histograms. The per-flush `max_batch` is not
+/// part of the stats block, so it is `None` here; the batching evidence
+/// is the delta mean.
+pub fn report_from_stats(
+    tallies: LoadTallies,
+    before: &StatsReport,
+    after: &StatsReport,
+) -> LoadReport {
+    let lat = after.global.cum.lat.delta_since(&before.global.cum.lat);
+    let batch_count = after.batch_count.saturating_sub(before.batch_count);
+    let batch_sum = after.batch_sum.saturating_sub(before.batch_sum);
+    LoadReport {
+        tallies,
+        p50_ns: lat.quantile_ns(0.50),
+        p99_ns: lat.quantile_ns(0.99),
+        p999_ns: lat.quantile_ns(0.999),
+        mean_batch: (batch_count > 0).then(|| batch_sum as f64 / batch_count as f64),
+        max_batch: None,
+    }
+}
+
+/// Combines run tallies with the daemon's own **cumulative** histograms
+/// into the summary the bench harness reads. Only valid when nothing
+/// else has driven the serving histograms in this process; the load
+/// test itself uses [`report_from_stats`].
 pub fn report(tallies: LoadTallies, snapshot: &MetricsSnapshot) -> LoadReport {
     let e2e = snapshot.histogram("serve.e2e");
     let batch = snapshot.histogram("serve.batch_size");
@@ -297,6 +349,69 @@ mod tests {
         assert_ne!(a, other_user);
         let other_variant = synth_image(0, 1, 6, 16);
         assert_ne!(a, other_variant);
+    }
+
+    #[test]
+    fn stats_report_deltas_ignore_prior_runs() {
+        use crate::protocol::{RollupStats, TenantStats};
+        use echo_obs::LatHist;
+
+        fn rollup(lat: LatHist) -> RollupStats {
+            RollupStats {
+                epochs: 1,
+                decisions: lat.count,
+                accepted: lat.count,
+                rejects: [0; 5],
+                qps: 0.0,
+                margin_p50: None,
+                margin_p99: None,
+                lat,
+            }
+        }
+        fn snap(lat: LatHist, batch_count: u64, batch_sum: u64) -> StatsReport {
+            StatsReport {
+                epoch_len: 32,
+                queue_depth: 0,
+                batch_count,
+                batch_sum,
+                fill_count: 0,
+                fill_sum: 0,
+                global: TenantStats {
+                    tenant: None,
+                    epoch: 0,
+                    drift: None,
+                    cum: rollup(lat),
+                    windows: Vec::new(),
+                },
+                tenants: Vec::new(),
+            }
+        }
+
+        // A "previous run" left 100 very slow observations behind.
+        let mut stale = LatHist::new();
+        for _ in 0..100 {
+            stale.observe_ns(900_000_000);
+        }
+        let mut after_lat = stale.clone();
+        for _ in 0..50 {
+            after_lat.observe_ns(1_000_000);
+        }
+        let tallies = LoadTallies {
+            sessions: 50,
+            accepted: 50,
+            rejected: 0,
+            overloaded: 0,
+            errors: 0,
+            wall_s: 1.0,
+        };
+        let before = snap(stale, 40, 200);
+        let after = snap(after_lat, 50, 250);
+        let r = report_from_stats(tallies, &before, &after);
+        // Only this run's 1 ms observations survive the delta; the
+        // stale 900 ms tail from the earlier run is subtracted out.
+        assert!(r.p99_ns.unwrap() < 100_000_000, "{:?}", r.p99_ns);
+        assert_eq!(r.mean_batch, Some(5.0));
+        assert_eq!(r.max_batch, None);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! backtrace (the bug class this PR sweeps off the I/O surface).
 
 use echo_ml::GrayImage;
+use echo_obs::window::{LatHist, REJECT_CLASSES, ROLLUP_SPANS};
 use std::fmt;
 
 /// Hard ceiling on a frame payload. Bounds per-connection buffering; a
@@ -56,6 +57,11 @@ pub enum Opcode {
     /// template store (no claimed user required; `user` is ignored and
     /// conventionally `u64::MAX`).
     Identify = 5,
+    /// Read the daemon's live telemetry windows. `tenant` selects one
+    /// tenant, or `u64::MAX` for all; `user` and images are ignored.
+    /// Answered inline on the I/O thread — a stats poll never waits
+    /// behind the batcher.
+    Stats = 6,
 }
 
 impl Opcode {
@@ -66,7 +72,20 @@ impl Opcode {
             3 => Some(Opcode::Ping),
             4 => Some(Opcode::Shutdown),
             5 => Some(Opcode::Identify),
+            6 => Some(Opcode::Stats),
             _ => None,
+        }
+    }
+
+    /// A short stable label for trace attributes and dashboards.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Opcode::Auth => "auth",
+            Opcode::Enroll => "enroll",
+            Opcode::Ping => "ping",
+            Opcode::Shutdown => "shutdown",
+            Opcode::Identify => "identify",
+            Opcode::Stats => "stats",
         }
     }
 }
@@ -134,6 +153,70 @@ pub struct Response {
     pub trace_id: u64,
     /// Reject/error reason; empty on success.
     pub reason: String,
+    /// Telemetry payload; `Some` only on successful [`Opcode::Stats`]
+    /// responses (encoded as a trailing binary block, absent for every
+    /// other opcode).
+    pub stats: Option<StatsReport>,
+}
+
+/// One rollup on the wire: verdict counts, QPS, gate-margin quantiles
+/// (computed server-side from the window sketch — sketches never cross
+/// the wire) and the latency histogram for client-side quantile math.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollupStats {
+    /// Epochs the rollup spans (including the current partial one).
+    pub epochs: u64,
+    pub decisions: u64,
+    pub accepted: u64,
+    /// Rejections by class, indexed per
+    /// [`echo_obs::window::REJECT_LABELS`].
+    pub rejects: [u64; REJECT_CLASSES],
+    /// Decisions per wall-clock second over the span.
+    pub qps: f64,
+    /// Median gate margin over the span.
+    pub margin_p50: Option<f64>,
+    /// 99th-percentile gate margin over the span.
+    pub margin_p99: Option<f64>,
+    /// End-to-end latency histogram over the span.
+    pub lat: LatHist,
+}
+
+/// One tenant's windows on the wire (`tenant: None` = the global
+/// cross-tenant window).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    pub tenant: Option<u64>,
+    /// Current (partial) epoch number.
+    pub epoch: u64,
+    /// Latest PSI drift score vs the enrolment-time reference.
+    pub drift: Option<f64>,
+    /// Cumulative totals since the window was created.
+    pub cum: RollupStats,
+    /// Trailing rollups, one per span in
+    /// [`echo_obs::window::ROLLUP_SPANS`] (1 / 8 / 64 epochs).
+    pub windows: Vec<RollupStats>,
+}
+
+/// The [`Opcode::Stats`] payload: daemon-level queue/batch health plus
+/// the global and per-tenant windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Decisions per epoch in force.
+    pub epoch_len: u64,
+    /// Batcher queue depth at snapshot time.
+    pub queue_depth: i64,
+    /// Observations / summed sizes of the `serve.batch_size` histogram
+    /// (cumulative; delta two reports for a windowed mean).
+    pub batch_count: u64,
+    pub batch_sum: u64,
+    /// Observations / summed percentages of the `serve.batch_fill_pct`
+    /// occupancy histogram.
+    pub fill_count: u64,
+    pub fill_sum: u64,
+    /// The cross-tenant global window.
+    pub global: TenantStats,
+    /// Per-tenant windows, ascending tenant id.
+    pub tenants: Vec<TenantStats>,
 }
 
 /// A frame that could not be decoded. Every variant names the byte
@@ -162,6 +245,10 @@ pub enum ProtocolError {
     },
     /// The reason field is not UTF-8.
     BadUtf8 { offset: usize },
+    /// A presence flag byte in a stats block was neither 0 nor 1, or a
+    /// block count was out of range — the frame is corrupt, not merely
+    /// short.
+    BadStatsBlock { offset: usize, value: u64 },
     /// Bytes remained after the last field.
     TrailingBytes { offset: usize, extra: usize },
 }
@@ -199,6 +286,9 @@ impl fmt::Display for ProtocolError {
             ),
             ProtocolError::BadUtf8 { offset } => {
                 write!(f, "reason at byte {offset} is not valid UTF-8")
+            }
+            ProtocolError::BadStatsBlock { offset, value } => {
+                write!(f, "corrupt stats block at byte {offset}: value {value}")
             }
             ProtocolError::TrailingBytes { offset, extra } => {
                 write!(
@@ -260,6 +350,36 @@ impl<'a> Cursor<'a> {
     fn f32(&mut self) -> Result<f32, ProtocolError> {
         let b = self.take(4)?;
         Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtocolError> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A 0/1 presence flag; any other byte is a corrupt block, not a
+    /// short one.
+    fn flag(&mut self) -> Result<bool, ProtocolError> {
+        let off = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(ProtocolError::BadStatsBlock {
+                offset: off,
+                value: v as u64,
+            }),
+        }
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, ProtocolError> {
+        Ok(if self.flag()? {
+            Some(self.f64()?)
+        } else {
+            None
+        })
     }
 
     fn done(&self) -> Result<(), ProtocolError> {
@@ -349,12 +469,68 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
     })
 }
 
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_rollup(out: &mut Vec<u8>, r: &RollupStats) {
+    out.extend_from_slice(&r.epochs.to_le_bytes());
+    out.extend_from_slice(&r.decisions.to_le_bytes());
+    out.extend_from_slice(&r.accepted.to_le_bytes());
+    for &n in &r.rejects {
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+    out.extend_from_slice(&r.qps.to_bits().to_le_bytes());
+    put_opt_f64(out, r.margin_p50);
+    put_opt_f64(out, r.margin_p99);
+    out.extend_from_slice(&r.lat.count.to_le_bytes());
+    out.extend_from_slice(&r.lat.sum_ns.to_le_bytes());
+    for &b in &r.lat.buckets {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+}
+
+fn put_tenant_stats(out: &mut Vec<u8>, t: &TenantStats) {
+    match t.tenant {
+        Some(id) => {
+            out.push(1);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+    out.extend_from_slice(&t.epoch.to_le_bytes());
+    put_opt_f64(out, t.drift);
+    out.push(t.windows.len() as u8);
+    put_rollup(out, &t.cum);
+    for w in &t.windows {
+        put_rollup(out, w);
+    }
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &StatsReport) {
+    out.extend_from_slice(&s.epoch_len.to_le_bytes());
+    out.extend_from_slice(&s.queue_depth.to_le_bytes());
+    out.extend_from_slice(&s.batch_count.to_le_bytes());
+    out.extend_from_slice(&s.batch_sum.to_le_bytes());
+    out.extend_from_slice(&s.fill_count.to_le_bytes());
+    out.extend_from_slice(&s.fill_sum.to_le_bytes());
+    out.extend_from_slice(&(s.tenants.len() as u16).to_le_bytes());
+    put_tenant_stats(out, &s.global);
+    for t in &s.tenants {
+        put_tenant_stats(out, t);
+    }
+}
+
 /// Encodes a response into a complete frame (prefix included).
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let reason = resp.reason.as_bytes();
-    let payload_len = 1 + 8 + 1 + 8 + 8 + 4 + reason.len();
-    let mut out = Vec::with_capacity(4 + payload_len);
-    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    let mut out = vec![0u8; 4]; // length prefix patched below
     out.push(resp.op as u8);
     out.extend_from_slice(&resp.request_id.to_le_bytes());
     out.push(resp.status as u8);
@@ -362,7 +538,94 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     out.extend_from_slice(&resp.trace_id.to_le_bytes());
     out.extend_from_slice(&(reason.len() as u32).to_le_bytes());
     out.extend_from_slice(reason);
+    if let Some(stats) = &resp.stats {
+        put_stats(&mut out, stats);
+    }
+    let payload_len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&payload_len.to_le_bytes());
     out
+}
+
+fn take_rollup(c: &mut Cursor<'_>) -> Result<RollupStats, ProtocolError> {
+    let epochs = c.u64()?;
+    let decisions = c.u64()?;
+    let accepted = c.u64()?;
+    let mut rejects = [0u64; REJECT_CLASSES];
+    for slot in rejects.iter_mut() {
+        *slot = c.u64()?;
+    }
+    let qps = c.f64()?;
+    let margin_p50 = c.opt_f64()?;
+    let margin_p99 = c.opt_f64()?;
+    let mut lat = LatHist::new();
+    lat.count = c.u64()?;
+    lat.sum_ns = c.u64()?;
+    for b in lat.buckets.iter_mut() {
+        *b = c.u64()?;
+    }
+    Ok(RollupStats {
+        epochs,
+        decisions,
+        accepted,
+        rejects,
+        qps,
+        margin_p50,
+        margin_p99,
+        lat,
+    })
+}
+
+fn take_tenant_stats(c: &mut Cursor<'_>) -> Result<TenantStats, ProtocolError> {
+    let tenant = if c.flag()? { Some(c.u64()?) } else { None };
+    let epoch = c.u64()?;
+    let drift = c.opt_f64()?;
+    let n_off = c.pos;
+    let n_windows = c.u8()? as usize;
+    // The window count is structural: anything but the fixed rollup
+    // span set means sender and receiver disagree on the format.
+    if n_windows != ROLLUP_SPANS.len() {
+        return Err(ProtocolError::BadStatsBlock {
+            offset: n_off,
+            value: n_windows as u64,
+        });
+    }
+    let cum = take_rollup(c)?;
+    let mut windows = Vec::with_capacity(n_windows);
+    for _ in 0..n_windows {
+        windows.push(take_rollup(c)?);
+    }
+    Ok(TenantStats {
+        tenant,
+        epoch,
+        drift,
+        cum,
+        windows,
+    })
+}
+
+fn take_stats(c: &mut Cursor<'_>) -> Result<StatsReport, ProtocolError> {
+    let epoch_len = c.u64()?;
+    let queue_depth = c.i64()?;
+    let batch_count = c.u64()?;
+    let batch_sum = c.u64()?;
+    let fill_count = c.u64()?;
+    let fill_sum = c.u64()?;
+    let n_tenants = c.u16()? as usize;
+    let global = take_tenant_stats(c)?;
+    let mut tenants = Vec::with_capacity(n_tenants.min(1024));
+    for _ in 0..n_tenants {
+        tenants.push(take_tenant_stats(c)?);
+    }
+    Ok(StatsReport {
+        epoch_len,
+        queue_depth,
+        batch_count,
+        batch_sum,
+        fill_count,
+        fill_sum,
+        global,
+        tenants,
+    })
 }
 
 /// Decodes a response payload (the bytes *after* the length prefix).
@@ -392,6 +655,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
     let reason = std::str::from_utf8(c.take(reason_len)?)
         .map_err(|_| ProtocolError::BadUtf8 { offset: reason_off })?
         .to_string();
+    // Only a successful Stats response carries a trailing stats block;
+    // for every other opcode (and for stats errors, which end at the
+    // reason) leftover bytes are still a protocol violation.
+    let stats = if op == Opcode::Stats && c.pos < c.buf.len() {
+        Some(take_stats(&mut c)?)
+    } else {
+        None
+    };
     c.done()?;
     Ok(Response {
         op,
@@ -400,6 +671,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
         user_id,
         trace_id,
         reason,
+        stats,
     })
 }
 
@@ -478,10 +750,166 @@ mod tests {
             user_id: 0,
             trace_id: 99,
             reason: "overloaded: tenant 7 queue full (256 queued)".into(),
+            stats: None,
         };
         let frame = encode_response(&resp);
         let (payload, _) = split_frame(&frame).unwrap().unwrap();
         assert_eq!(decode_response(payload).unwrap(), resp);
+    }
+
+    fn sample_rollup(seed: u64) -> RollupStats {
+        let mut lat = LatHist::new();
+        lat.observe_ns(1_500 + seed);
+        lat.observe_ns(2_000_000);
+        RollupStats {
+            epochs: 3,
+            decisions: 40 + seed,
+            accepted: 31,
+            rejects: [1, 2, 3, 2, 1],
+            qps: 123.5,
+            margin_p50: Some(0.04),
+            margin_p99: None,
+            lat,
+        }
+    }
+
+    fn sample_stats() -> StatsReport {
+        let tenant = |id: Option<u64>| TenantStats {
+            tenant: id,
+            epoch: 17,
+            drift: id.map(|i| 0.01 * i as f64),
+            cum: sample_rollup(0),
+            windows: vec![sample_rollup(1), sample_rollup(2), sample_rollup(3)],
+        };
+        StatsReport {
+            epoch_len: 32,
+            queue_depth: -1,
+            batch_count: 9,
+            batch_sum: 40,
+            fill_count: 9,
+            fill_sum: 730,
+            global: tenant(None),
+            tenants: vec![tenant(Some(7)), tenant(Some(9))],
+        }
+    }
+
+    #[test]
+    fn stats_response_round_trips() {
+        let resp = Response {
+            op: Opcode::Stats,
+            request_id: 5,
+            status: Status::Ok,
+            user_id: 0,
+            trace_id: 0,
+            reason: String::new(),
+            stats: Some(sample_stats()),
+        };
+        let frame = encode_response(&resp);
+        let (payload, used) = split_frame(&frame).unwrap().unwrap();
+        assert_eq!(used, frame.len());
+        let back = decode_response(payload).unwrap();
+        assert_eq!(back, resp);
+        let stats = back.stats.unwrap();
+        assert_eq!(stats.tenants.len(), 2);
+        assert_eq!(stats.tenants[0].tenant, Some(7));
+        assert_eq!(stats.global.tenant, None);
+        assert_eq!(stats.queue_depth, -1);
+        assert_eq!(stats.tenants[1].drift, Some(0.09));
+    }
+
+    #[test]
+    fn stats_error_response_carries_no_block() {
+        let resp = Response {
+            op: Opcode::Stats,
+            request_id: 5,
+            status: Status::Error,
+            user_id: 0,
+            trace_id: 0,
+            reason: "no such tenant".into(),
+            stats: None,
+        };
+        let frame = encode_response(&resp);
+        let (payload, _) = split_frame(&frame).unwrap().unwrap();
+        assert_eq!(decode_response(payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncated_stats_block_is_typed_at_every_cut() {
+        let frame = encode_response(&Response {
+            op: Opcode::Stats,
+            request_id: 5,
+            status: Status::Ok,
+            user_id: 0,
+            trace_id: 0,
+            reason: String::new(),
+            stats: Some(sample_stats()),
+        });
+        let payload = &frame[4..];
+        // The fixed response header ends after the (empty) reason.
+        let header_end = 1 + 8 + 1 + 8 + 8 + 4;
+        for cut in [header_end + 1, header_end + 60, payload.len() - 1] {
+            let err = decode_response(&payload[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::Truncated { .. }),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_stats_flags_and_counts_are_rejected() {
+        let frame = encode_response(&Response {
+            op: Opcode::Stats,
+            request_id: 5,
+            status: Status::Ok,
+            user_id: 0,
+            trace_id: 0,
+            reason: String::new(),
+            stats: Some(sample_stats()),
+        });
+        let header_end = 4 + 1 + 8 + 1 + 8 + 8 + 4;
+        // First byte after the six u64 block headers + tenant count is
+        // the global entry's tenant-presence flag.
+        let flag_off = header_end + 6 * 8 + 2;
+        let mut bad_flag = frame.clone();
+        bad_flag[flag_off] = 7;
+        let err = decode_response(&bad_flag[4..]).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::BadStatsBlock { value: 7, .. }),
+            "{err:?}"
+        );
+        // The global entry is tenantless: flag(1) + epoch(8) +
+        // drift-flag(1) puts the window count next; any count except
+        // the rollup-span set is structurally corrupt.
+        let n_windows_off = flag_off + 1 + 8 + 1;
+        let mut bad_count = frame.clone();
+        assert_eq!(bad_count[n_windows_off], ROLLUP_SPANS.len() as u8);
+        bad_count[n_windows_off] = 9;
+        let err = decode_response(&bad_count[4..]).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::BadStatsBlock { value: 9, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn non_stats_response_rejects_trailing_stats_bytes() {
+        let mut frame = encode_response(&Response {
+            op: Opcode::Ping,
+            request_id: 1,
+            status: Status::Ok,
+            user_id: 0,
+            trace_id: 0,
+            reason: String::new(),
+            stats: None,
+        });
+        frame.extend_from_slice(&[1, 2, 3]);
+        let len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            decode_response(&frame[4..]),
+            Err(ProtocolError::TrailingBytes { extra: 3, .. })
+        ));
     }
 
     #[test]
@@ -537,6 +965,7 @@ mod tests {
             user_id: 0,
             trace_id: 0,
             reason: String::new(),
+            stats: None,
         };
         let mut rframe = encode_response(&resp);
         rframe[4 + 9] = 77;

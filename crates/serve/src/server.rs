@@ -49,6 +49,9 @@ const IDLE_SLEEP: Duration = Duration::from_micros(500);
 /// responses before the loop exits anyway.
 const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
+/// How often the `prom_out` exposition file is rewritten.
+const PROM_INTERVAL: Duration = Duration::from_secs(1);
+
 /// Where the daemon listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BindAddr {
@@ -69,6 +72,10 @@ pub(crate) struct Job {
     /// and stamped on the audit, and it closes when the response is
     /// queued for write.
     pub span: TraceSpan,
+    /// Child span covering the time from admission to batch pickup;
+    /// the batcher drops it when the job leaves the queue, making
+    /// batcher wait visible to `trace-report` as its own stage.
+    pub queue_wait: Option<TraceSpan>,
 }
 
 /// State shared between the I/O thread, the batcher, and the handle.
@@ -247,8 +254,18 @@ fn io_loop(shared: &Shared, listener: Listener) {
     let mut next_conn: u64 = 1;
     let mut read_buf = [0u8; 64 * 1024];
     let mut shutdown_at: Option<Instant> = None;
+    let mut prom_due = Instant::now();
 
     loop {
+        // Periodic Prometheus exposition: rewrite the scrape file about
+        // once a second, off the request path (a render costs tens of
+        // microseconds against a 500 µs idle tick).
+        if let Some(path) = &shared.cfg.prom_out {
+            if Instant::now() >= prom_due {
+                prom_due = Instant::now() + PROM_INTERVAL;
+                write_prometheus(path);
+            }
+        }
         let shutting_down = shared.shutdown.load(Ordering::Relaxed);
         let mut moved = false;
 
@@ -410,6 +427,25 @@ fn io_loop(shared: &Shared, listener: Listener) {
     if let Listener::Unix(_, path) = &listener {
         let _ = std::fs::remove_file(path);
     }
+    // One final exposition so the post-shutdown file reflects the full
+    // run.
+    if let Some(path) = &shared.cfg.prom_out {
+        write_prometheus(path);
+    }
+}
+
+/// Renders the registry snapshot plus the tenant windows in Prometheus
+/// text format and atomically replaces `path` (write-temp-then-rename,
+/// so a concurrent scraper never reads a torn file).
+fn write_prometheus(path: &std::path::Path) {
+    let snap = echo_obs::snapshot();
+    let (global, tenants) = echo_obs::window::snapshot_windows();
+    let mut text = echo_obs::export::prometheus_text(&snap);
+    text.push_str(&echo_obs::export::prometheus_windows(&global, &tenants));
+    let tmp = path.with_extension("prom.tmp");
+    if std::fs::write(&tmp, &text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
 }
 
 /// Handles one decoded-or-not frame payload from connection `conn`.
@@ -428,6 +464,7 @@ fn handle_payload(shared: &Shared, conn: u64, payload: &[u8]) -> Result<(), Vec<
     let mut span = echo_obs::root_span("serve.request");
     span.attr_u64("tenant", req.tenant);
     span.attr_u64("request_id", req.request_id);
+    span.attr_str("op", req.op.label());
     match req.op {
         Opcode::Ping => {
             push_response(
@@ -440,6 +477,7 @@ fn handle_payload(shared: &Shared, conn: u64, payload: &[u8]) -> Result<(), Vec<
                     user_id: 0,
                     trace_id: span.ctx().trace_id(),
                     reason: String::new(),
+                    stats: None,
                 },
             );
         }
@@ -456,6 +494,27 @@ fn handle_payload(shared: &Shared, conn: u64, payload: &[u8]) -> Result<(), Vec<
                     user_id: 0,
                     trace_id: span.ctx().trace_id(),
                     reason: String::new(),
+                    stats: None,
+                },
+            );
+        }
+        Opcode::Stats => {
+            // Answered inline on the I/O thread, like ping: a stats
+            // poll reads windows and gauges only and must never wait
+            // behind the batcher.
+            let filter = (req.tenant != u64::MAX).then_some(req.tenant);
+            let report = crate::stats::collect(filter);
+            push_response(
+                shared,
+                conn,
+                &Response {
+                    op: Opcode::Stats,
+                    request_id: req.request_id,
+                    status: Status::Ok,
+                    user_id: 0,
+                    trace_id: span.ctx().trace_id(),
+                    reason: String::new(),
+                    stats: Some(report),
                 },
             );
         }
@@ -469,12 +528,14 @@ fn handle_payload(shared: &Shared, conn: u64, payload: &[u8]) -> Result<(), Vec<
                     push_response(shared, conn, &resp);
                 }
                 Ok(()) => {
+                    let queue_wait = Some(span.ctx().child("serve.queue_wait"));
                     let mut q = shared.queue.lock().unwrap();
                     q.push_back(Job {
                         conn,
                         req,
                         enqueued: Instant::now(),
                         span,
+                        queue_wait,
                     });
                     echo_obs::gauge!("serve.queue_depth").set(q.len() as i64);
                     drop(q);
@@ -501,5 +562,6 @@ fn protocol_error_response(e: &crate::protocol::ProtocolError) -> Response {
         user_id: 0,
         trace_id: 0,
         reason: format!("protocol error: {e}"),
+        stats: None,
     }
 }

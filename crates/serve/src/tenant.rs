@@ -166,6 +166,22 @@ impl TenantRegistry {
                     Some(handle) => handle.publish(snapshot),
                     None => t.store = Some(Arc::new(StoreHandle::new(snapshot))),
                 }
+                // Freeze the drift reference: the gate-margin
+                // distribution of the enrolment corpus under the model
+                // that was just published. Live auth margins are PSI'd
+                // against this by the window's drift watch; re-freezing
+                // on every enrol keeps the reference aligned with the
+                // live model.
+                let margins: Vec<f64> = t
+                    .groups
+                    .iter()
+                    .flat_map(|(_, groups)| groups.iter().flatten())
+                    .map(|fv| auth.gate_decision(fv))
+                    .collect();
+                echo_obs::window::set_reference(
+                    tenant,
+                    echo_obs::window::reference_from_margins(&margins),
+                );
                 t.auth = Some(Arc::new(auth));
                 Ok(())
             }

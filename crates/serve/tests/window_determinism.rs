@@ -1,0 +1,126 @@
+//! Cross-thread-count determinism of the windowed telemetry.
+//!
+//! The windowing contract extends the audit contract: epoch buckets
+//! advance on **decision count**, not wall clock, so the deterministic
+//! projection of every [`echo_obs::WindowSnapshot`] — counts, sketch
+//! bins, drift bits — must be bit-identical between a serial extraction
+//! pool and the auto-sized one. Wall-clock-derived fields (qps, latency
+//! bucket placement) are excluded by `WindowSnapshot::fingerprint`.
+//! Lives in its own integration-test binary because it resets the
+//! process-global window state between runs.
+
+use echo_obs::WindowSnapshot;
+use echo_serve::config::ServeConfig;
+use echo_serve::loadgen::synth_image;
+use echo_serve::protocol::{Opcode, Request, Status};
+use echo_serve::server::{BindAddr, ServerHandle};
+use echo_serve::Client;
+use std::time::Duration;
+
+const TENANT: u64 = 9;
+
+/// Runs the canonical serve workload and returns the global and tenant
+/// window snapshots plus any drift alarms, with short epochs so the
+/// ring actually turns over and drift is computed several times.
+fn run_workload(
+    threads: usize,
+) -> (
+    WindowSnapshot,
+    Vec<WindowSnapshot>,
+    Vec<echo_obs::DriftAlarm>,
+) {
+    echo_obs::reset_audits();
+    echo_obs::reset_traces();
+    echo_obs::window::reset_windows();
+    echo_obs::window::set_epoch_len(4);
+    let cfg = ServeConfig::validated(Duration::from_micros(500), 8, 64, threads).expect("config");
+    let server =
+        ServerHandle::start(cfg, BindAddr::Tcp("127.0.0.1:0".into())).expect("bind tcp socket");
+    let addr = server.local_addr().expect("tcp addr");
+    let mut client = Client::connect_tcp(addr).expect("connect");
+
+    for user in [1u64, 2] {
+        let images: Vec<_> = (0..20u64)
+            .map(|v| synth_image(TENANT, user, v, 32))
+            .collect();
+        let resp = client
+            .call(&Request {
+                op: Opcode::Enroll,
+                request_id: user,
+                tenant: TENANT,
+                user,
+                images,
+            })
+            .expect("enrol");
+        assert_eq!(resp.status, Status::Ok, "{}", resp.reason);
+    }
+
+    for i in 0..24u64 {
+        let user = i % 2 + 1;
+        let images: Vec<_> = (0..3u64)
+            .map(|b| synth_image(TENANT, user, 4_000 + i * 8 + b, 32))
+            .collect();
+        let resp = client
+            .call(&Request {
+                op: Opcode::Auth,
+                request_id: 100 + i,
+                tenant: TENANT,
+                user,
+                images,
+            })
+            .expect("auth");
+        assert!(
+            matches!(resp.status, Status::Accepted | Status::Rejected),
+            "probe {i}: {:?} {}",
+            resp.status,
+            resp.reason
+        );
+    }
+    server.shutdown();
+    let (global, tenants) = echo_obs::window::snapshot_windows();
+    let alarms = echo_obs::window::take_drift_alarms();
+    echo_obs::window::reset_windows();
+    (global, tenants, alarms)
+}
+
+#[test]
+fn window_fingerprints_bit_identical_across_thread_counts() {
+    let (g1, t1, a1) = run_workload(1);
+    let (g0, t0, a0) = run_workload(0);
+
+    // The runs actually exercised the windows: 24 decisions at
+    // epoch_len 4 closes several epochs and computes drift.
+    assert_eq!(g1.cum.decisions, 24, "global cum decisions");
+    assert_eq!(t1.len(), 1, "one tenant window");
+    assert_eq!(t1[0].tenant, Some(TENANT));
+    assert!(t1[0].epoch >= 5, "epochs closed: {}", t1[0].epoch);
+    let drift = t1[0].drift.expect("drift computed after epoch close");
+    assert!(drift.is_finite(), "drift {drift}");
+
+    // Deterministic projections are bit-identical.
+    assert_eq!(
+        g1.fingerprint(),
+        g0.fingerprint(),
+        "global window fingerprint"
+    );
+    assert_eq!(t0.len(), 1);
+    assert_eq!(
+        t1[0].fingerprint(),
+        t0[0].fingerprint(),
+        "tenant window fingerprint"
+    );
+    // Drift is part of the fingerprint, but assert bit-equality
+    // explicitly too — it is the alarm-facing number.
+    assert_eq!(
+        t1[0].drift.map(f64::to_bits),
+        t0[0].drift.map(f64::to_bits),
+        "drift bits"
+    );
+    // Same decisions → same alarms (both sides, same order).
+    assert_eq!(a1.len(), a0.len(), "alarm count");
+    for (x, y) in a1.iter().zip(a0.iter()) {
+        assert_eq!(x.tenant, y.tenant);
+        assert_eq!(x.epoch, y.epoch);
+        assert_eq!(x.score.to_bits(), y.score.to_bits());
+    }
+}

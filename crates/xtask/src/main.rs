@@ -22,6 +22,7 @@ fn main() {
         Some("ci") => ci(),
         Some("bench-check") => bench_check(&args[1..]),
         Some("bench-baseline") => bench_baseline(),
+        Some("obs-smoke") => obs_smoke(),
         Some("trace-report") => trace_report::trace_report(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
@@ -35,7 +36,8 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: cargo xtask <ci | bench-check | bench-baseline | trace-report>
+const USAGE: &str =
+    "usage: cargo xtask <ci | bench-check | bench-baseline | obs-smoke | trace-report>
 
 tasks:
   ci              run the full CI gate (fmt, clippy, build, tests, the
@@ -52,6 +54,10 @@ tasks:
   bench-baseline  rerun the full (non-quick) feature bench and rewrite
                   BENCH_features.json — the documented override when a
                   deliberate change moves the baseline
+  obs-smoke       boot the echo-serve daemon, drive it with the load
+                  test over TCP, and assert `echo-top --once --json
+                  --assert-live` sees non-empty tenant windows and
+                  finite drift
   trace-report    analyse a --trace-out JSONL flight-recorder trace:
                   per-stage critical-path statistics, slowest traces,
                   failed authentication attempts
@@ -64,7 +70,7 @@ tasks:
 /// The kernel latencies the regression gate holds. Deliberately the
 /// low-variance single-kernel timings — end-to-end stage timings and
 /// the naive-reference baselines wander too much on shared runners.
-const GATED_METRICS: [&str; 8] = [
+const GATED_METRICS: [&str; 9] = [
     "single_image.gemm_ns",
     "single_image.gemm_scratch_ns",
     "matched_filter.packed_ns",
@@ -73,6 +79,7 @@ const GATED_METRICS: [&str; 8] = [
     "stage.spatial.mean_ns",
     "serve.p99_ns",
     "store.lookup_p99_ns",
+    "stats.render_ns",
 ];
 
 /// One gate step: display name, cargo arguments, extra environment.
@@ -82,16 +89,17 @@ type Step = (
     &'static [(&'static str, &'static str)],
 );
 
-/// The test suites that must hold bit-for-bit across worker-thread
-/// counts and SIMD dispatch modes, mirrored by the CI determinism
-/// matrix.
-const DETERMINISM_SUITES: [&str; 6] = [
-    "fault_injection",
-    "feature_determinism",
-    "metrics_determinism",
-    "simd_dispatch",
-    "spoof_audit",
-    "trace_determinism",
+/// The `(package, suite)` pairs that must hold bit-for-bit across
+/// worker-thread counts and SIMD dispatch modes, mirrored by the CI
+/// determinism matrix.
+const DETERMINISM_SUITES: [(&str, &str); 7] = [
+    ("echoimage-core", "fault_injection"),
+    ("echoimage-core", "feature_determinism"),
+    ("echoimage-core", "metrics_determinism"),
+    ("echoimage-core", "simd_dispatch"),
+    ("echoimage-core", "spoof_audit"),
+    ("echoimage-core", "trace_determinism"),
+    ("echo-serve", "window_determinism"),
 ];
 
 /// The SIMD dispatch modes the determinism matrix forces. `scalar` pins
@@ -136,10 +144,10 @@ fn ci() {
     let mut matrix_steps = 0;
     for simd in SIMD_MODES {
         for threads in ["1", "0"] {
-            for suite in DETERMINISM_SUITES {
+            for (pkg, suite) in DETERMINISM_SUITES {
                 run(
                     &format!("{suite} (threads = {threads}, simd = {simd})"),
-                    &["test", "-q", "-p", "echoimage-core", "--test", suite],
+                    &["test", "-q", "-p", pkg, "--test", suite],
                     &[("ECHOIMAGE_THREADS", threads), ("ECHOIMAGE_SIMD", simd)],
                 );
                 matrix_steps += 1;
@@ -242,6 +250,8 @@ fn ci() {
     for (name, args, envs) in tail {
         run(name, args, envs);
     }
+    println!("==> obs smoke (daemon + stats + echo-top)");
+    obs_smoke();
     println!("==> trace-report selftest");
     trace_report::trace_report(&["--selftest".into()]);
     println!("==> bench-regression check");
@@ -249,7 +259,7 @@ fn ci() {
     bench_check(&[]);
     println!(
         "\nCI gate passed ({} steps)",
-        steps.len() + matrix_steps + tail.len() + 3
+        steps.len() + matrix_steps + tail.len() + 4
     );
     print_step_durations();
 }
@@ -313,6 +323,102 @@ fn simd_parity() -> usize {
         println!("  simd parity: all dispatch modes bit-identical");
     }
     SIMD_MODES.len()
+}
+
+// ── observability smoke ──────────────────────────────────────────────
+
+/// Boots the real daemon binary on an ephemeral TCP port, drives it
+/// with the wire load test, then asserts `echo-top --once --json
+/// --assert-live` against it: at least one tenant window with
+/// decisions, every drift score finite, valid JSON on stdout. This is
+/// the end-to-end proof that the Stats opcode, the window substrate,
+/// and the dashboard agree over a real socket.
+fn obs_smoke() {
+    run(
+        "build serve bins (release)",
+        &["build", "--release", "-q", "-p", "echo-serve", "--bins"],
+        &[],
+    );
+    let bin = |name: &str| Path::new("target/release").join(name);
+
+    let mut daemon = Command::new(bin("echo_serve"))
+        .args(["--tcp", "127.0.0.1:0"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("obs-smoke: could not start echo_serve: {e}");
+            exit(1);
+        });
+    // The daemon announces its ephemeral port on stderr:
+    //   echo-serve listening on tcp://127.0.0.1:PORT
+    let stderr = daemon.stderr.take().expect("stderr was piped");
+    let addr = {
+        use std::io::BufRead;
+        let mut lines = std::io::BufReader::new(stderr).lines();
+        loop {
+            match lines.next() {
+                Some(Ok(line)) => {
+                    if let Some(addr) = line.split("tcp://").nth(1) {
+                        break addr.trim().to_string();
+                    }
+                    eprintln!("  [echo_serve] {line}");
+                }
+                _ => {
+                    let _ = daemon.kill();
+                    eprintln!("obs-smoke: daemon exited before announcing its address");
+                    exit(1);
+                }
+            }
+        }
+    };
+    println!("  obs-smoke: daemon at {addr}");
+
+    let kill_and_fail = |daemon: &mut std::process::Child, msg: &str| -> ! {
+        let _ = daemon.kill();
+        let _ = daemon.wait();
+        eprintln!("obs-smoke: {msg}");
+        exit(1);
+    };
+
+    let load = Command::new(bin("load_test"))
+        .args(["--quick", "--connect", &addr])
+        .status();
+    match load {
+        Ok(s) if s.success() => {}
+        Ok(s) => kill_and_fail(&mut daemon, &format!("load_test failed with {s}")),
+        Err(e) => kill_and_fail(&mut daemon, &format!("load_test could not start: {e}")),
+    }
+
+    let top = Command::new(bin("echo_top"))
+        .args(["--tcp", &addr, "--once", "--json", "--assert-live"])
+        .output();
+    let out = match top {
+        Ok(out) if out.status.success() => out,
+        Ok(out) => kill_and_fail(
+            &mut daemon,
+            &format!(
+                "echo-top --assert-live failed with {}: {}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr)
+            ),
+        ),
+        Err(e) => kill_and_fail(&mut daemon, &format!("echo_top could not start: {e}")),
+    };
+    let json = String::from_utf8_lossy(&out.stdout);
+    let doc = Json::parse(&json).unwrap_or_else(|e| {
+        let _ = daemon.kill();
+        eprintln!("obs-smoke: echo-top emitted invalid JSON: {e}\n{json}");
+        exit(1);
+    });
+    let tenants = match doc.get("tenants") {
+        Some(Json::Arr(t)) if !t.is_empty() => t.len(),
+        _ => kill_and_fail(&mut daemon, "echo-top JSON carries no tenant windows"),
+    };
+    println!("  obs-smoke: echo-top sees {tenants} live tenant window(s)");
+
+    let _ = daemon.kill();
+    let _ = daemon.wait();
+    println!("obs-smoke passed");
 }
 
 // ── bench-regression gate ────────────────────────────────────────────

@@ -261,6 +261,10 @@ fn render_report(spans: &[Span], audits: &[Audit], top: usize) -> String {
         );
     }
 
+    if let Some(serve) = render_serve_breakdown(spans) {
+        out.push_str(&serve);
+    }
+
     let mut roots: Vec<&Span> = spans.iter().filter(|s| s.parent.is_none()).collect();
     roots.sort_by(|a, b| b.dur_ns.cmp(&a.dur_ns).then(a.trace.cmp(&b.trace)));
     if !roots.is_empty() {
@@ -293,6 +297,50 @@ fn render_report(spans: &[Span], audits: &[Audit], top: usize) -> String {
         }
     }
     out
+}
+
+/// Daemon-trace breakdown: for `serve.request` roots, splits the
+/// summed end-to-end time into batcher wait (`serve.queue_wait`),
+/// pipeline time (`serve.decide`), and the remainder (framing,
+/// extraction batching, outbox writes). Answers the on-call question
+/// "is serving latency queueing or compute?" without reading the full
+/// stage table. `None` when the trace has no daemon spans.
+fn render_serve_breakdown(spans: &[Span]) -> Option<String> {
+    use std::fmt::Write as _;
+    let (count, total_ns) = spans
+        .iter()
+        .filter(|s| s.parent.is_none() && s.name == "serve.request")
+        .fold((0u64, 0u64), |(c, t), s| (c + 1, t + s.dur_ns));
+    if count == 0 {
+        return None;
+    }
+    let sum_of = |name: &str| -> u64 {
+        spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_ns)
+            .sum()
+    };
+    let wait_ns = sum_of("serve.queue_wait");
+    let decide_ns = sum_of("serve.decide");
+    let other_ns = total_ns.saturating_sub(wait_ns + decide_ns);
+    let mut out = String::new();
+    let _ = writeln!(out, "\n  serve e2e breakdown ({count} requests):");
+    for (label, ns) in [
+        ("batcher wait", wait_ns),
+        ("pipeline (decide)", decide_ns),
+        ("other (framing/batch/outbox)", other_ns),
+    ] {
+        let _ = writeln!(
+            out,
+            "    {:<30} {:>12.1} µs total {:>10.1} µs/req {:>6.1}%",
+            label,
+            ns as f64 / 1e3,
+            ns as f64 / count as f64 / 1e3,
+            100.0 * ns as f64 / total_ns.max(1) as f64,
+        );
+    }
+    Some(out)
 }
 
 /// Re-exports the parsed spans through the canonical Chrome trace-event
@@ -355,6 +403,15 @@ const SELFTEST_JSONL: &str = concat!(
     "\"dur_ns\":6000,\"attrs\":{\"grid_n\":32}}\n",
     "{\"type\":\"span\",\"trace\":2,\"seq\":0,\"span\":\"0000000000000040\",\"parent\":null,",
     "\"name\":\"auth.train\",\"lidx\":0,\"start_ns\":20000,\"dur_ns\":4000,\"attrs\":{}}\n",
+    "{\"type\":\"span\",\"trace\":3,\"seq\":0,\"span\":\"0000000000000050\",\"parent\":null,",
+    "\"name\":\"serve.request\",\"lidx\":0,\"start_ns\":30000,\"dur_ns\":8000,",
+    "\"attrs\":{\"tenant\":1,\"op\":\"auth\"}}\n",
+    "{\"type\":\"span\",\"trace\":3,\"seq\":1,\"span\":\"0000000000000060\",",
+    "\"parent\":\"0000000000000050\",\"name\":\"serve.queue_wait\",\"lidx\":0,",
+    "\"start_ns\":30100,\"dur_ns\":3000,\"attrs\":{}}\n",
+    "{\"type\":\"span\",\"trace\":3,\"seq\":2,\"span\":\"0000000000000070\",",
+    "\"parent\":\"0000000000000050\",\"name\":\"serve.decide\",\"lidx\":0,",
+    "\"start_ns\":33200,\"dur_ns\":4000,\"attrs\":{}}\n",
     "{\"type\":\"audit\",\"trace\":1,\"seq\":1,\"claimed_user\":7,\"beeps\":3,",
     "\"votes\":[[7,3]],\"votes_needed\":2,\"best_gate_margin\":0.25,\"channels\":6,",
     "\"degraded_mask\":0,\"retry_index\":0,\"verdict\":\"accepted\",\"accepted_user\":7,",
@@ -370,7 +427,7 @@ const SELFTEST_JSONL: &str = concat!(
 /// filesystem.
 fn trace_report_selftest() {
     let (spans, audits) = parse_jsonl(SELFTEST_JSONL).expect("selftest fixture must parse");
-    assert_eq!(spans.len(), 4, "selftest: span count");
+    assert_eq!(spans.len(), 7, "selftest: span count");
     assert_eq!(audits.len(), 2, "selftest: audit count");
     assert_eq!(spans[1].parent, Some(0x10), "selftest: hex parent decodes");
 
@@ -383,8 +440,13 @@ fn trace_report_selftest() {
     assert_eq!(stats["stage.imaging"].critical_ns, 6_000);
 
     let report = render_report(&spans, &audits, 5);
-    assert!(report.contains("4 spans, 2 traces, 2 audit records"));
+    assert!(report.contains("7 spans, 3 traces, 2 audit records"));
     assert!(report.contains("stage.imaging"), "per-stage row present");
+    assert!(report.contains("serve e2e breakdown (1 requests):"));
+    // 3 µs of 8 µs queued, 4 µs deciding, 1 µs everything else.
+    assert!(report.contains("batcher wait"), "serve breakdown row");
+    assert!(report.contains("37.5%"), "batcher wait share:\n{report}");
+    assert!(report.contains("50.0%"), "pipeline share:\n{report}");
     assert!(report.contains("slowest traces:"));
     assert!(
         report.contains("spoofer gate rejected every beep"),
